@@ -1,0 +1,69 @@
+"""Experiment E10: L1-tracking accuracy (Theorem 6 / Corollary 3).
+
+Runs the Section 5 tracker with the theorem's exact parameter settings
+and queries it at fixed checkpoints across independent seeds; reports
+the empirical distribution of relative errors against the promised
+``(1±eps)`` with failure probability delta.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis import format_table
+from repro.common import relative_error
+from repro.l1 import L1Tracker
+from repro.stream import round_robin, uniform_stream
+
+K, N = 8, 20000
+CHECKPOINTS = [1000, 5000, 20000]
+
+
+def test_l1_accuracy_distribution(benchmark, report):
+    def run():
+        results = []
+        for eps, delta in ((0.25, 0.2), (0.15, 0.2)):
+            errors = []
+            for seed in range(4):
+                rng = random.Random(seed)
+                items = uniform_stream(N, rng, low=1.0, high=10.0)
+                stream = round_robin(items, K)
+                prefix = stream.prefix_weights()
+                tracker = L1Tracker(K, eps=eps, delta=delta, seed=seed)
+
+                def record(t, tracker=tracker, prefix=prefix, errors=errors):
+                    errors.append(
+                        relative_error(tracker.estimate(), prefix[t - 1])
+                    )
+
+                tracker.run(
+                    stream, checkpoints=CHECKPOINTS, on_checkpoint=record
+                )
+            errors.sort()
+            failures = sum(1 for e in errors if e > eps)
+            results.append(
+                {
+                    "eps": eps,
+                    "delta": delta,
+                    "queries": len(errors),
+                    "median_err": errors[len(errors) // 2],
+                    "max_err": errors[-1],
+                    "failures(err>eps)": failures,
+                    "allowed(delta*q)": delta * len(errors),
+                }
+            )
+        return results
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        format_table(
+            rows,
+            title="E10 (Theorem 6): L1 estimate accuracy at fixed checkpoints",
+            caption="per-query failure prob is delta; observed failures "
+            "should not exceed the binomial allowance by much",
+        )
+    )
+    for row in rows:
+        # Generous binomial slack: observed failures within 2x allowance + 1.
+        assert row["failures(err>eps)"] <= 2 * row["allowed(delta*q)"] + 1
+        assert row["median_err"] < row["eps"]

@@ -1,0 +1,60 @@
+"""Experiment E12: resource optimality (Propositions 6 and 7).
+
+Measures the three resource claims of Theorem 3:
+
+* each site's persistent state is O(1) machine words, independent of
+  the stream length and of s;
+* the coordinator's state is O(s) words;
+* site-side exponentials resolve threshold comparisons with O(1)
+  expected bits (Proposition 7) — measured with the bit-lazy generator.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis import format_table
+from repro.core import DistributedWeightedSWOR, SworConfig
+from repro.stream import round_robin, zipf_stream
+
+K = 16
+
+
+def test_state_words_and_bits(benchmark, report):
+    def run():
+        rows = []
+        for s in (8, 32, 128):
+            rng = random.Random(s)
+            items = zipf_stream(20000, rng, alpha=1.3)
+            proto = DistributedWeightedSWOR(
+                SworConfig(num_sites=K, sample_size=s, count_bits=True),
+                seed=s,
+            )
+            proto.run(round_robin(items, K))
+            rep = proto.resource_report()
+            rows.append(
+                {
+                    "s": s,
+                    "site_words_max": rep["site_state_words_max"],
+                    "coord_words": rep["coordinator_state_words"],
+                    "coord_words/s": rep["coordinator_state_words"] / s,
+                    "exponentials": rep["exponentials_generated"],
+                    "bits/exponential": rep["mean_bits_per_exponential"],
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        format_table(
+            rows,
+            title="E12 (Propositions 6-7): space and bit complexity",
+            caption="site words O(1); coordinator words O(s) (flat "
+            "coord_words/s); bits/exponential O(1) as W grows",
+        )
+    )
+    for row in rows:
+        assert row["site_words_max"] <= 4
+        assert row["coord_words/s"] <= 10
+    # Bits per comparison stay bounded regardless of s.
+    assert max(row["bits/exponential"] for row in rows) < 24

@@ -1,0 +1,101 @@
+"""Experiment E6: weighted SWR (Corollary 1) — messages and law.
+
+Corollary 1 claims ``O((k + s·log s)·log(W)/log(2+k/s))`` expected
+messages for weighted sampling *with* replacement via the duplication
+reduction.  The bench sweeps stream size and ``k``, printing the
+measured/bound ratio, and cross-checks the per-slot law against the
+centralized Chao sampler on a fixed small universe.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+from repro.analysis import bounds, format_table
+from repro.centralized import WeightedReservoirSWR
+from repro.core import DistributedWeightedSWR
+from repro.stream import Item, round_robin, zipf_stream
+
+
+def test_swr_message_scaling(benchmark, report):
+    def run():
+        rows = []
+        for n in (4000, 16000, 64000):
+            for k in (8, 64):
+                s = 16
+                rng = random.Random(n + k)
+                items = zipf_stream(n, rng, alpha=1.3)
+                proto = DistributedWeightedSWR(k, s, seed=n * 31 + k)
+                counters = proto.run(round_robin(items, k))
+                w = sum(i.weight for i in items)
+                bound = bounds.swr_message_bound(k, s, w)
+                rows.append(
+                    {
+                        "n": n,
+                        "k": k,
+                        "s": s,
+                        "W": w,
+                        "messages": counters.total,
+                        "rounds": proto.coordinator.rounds_announced,
+                        "bound": bound,
+                        "ratio": counters.total / bound,
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        format_table(
+            rows,
+            title="E6 (Corollary 1): weighted SWR messages vs (k+s log s) log(W)/log(2+k/s)",
+            caption="ratio should stay within a constant band across the sweep",
+        )
+    )
+    ratios = [row["ratio"] for row in rows]
+    assert max(ratios) / min(ratios) < 8.0
+
+
+def test_swr_matches_centralized_law(benchmark, report):
+    """Distributed SWR and centralized Chao slots: same per-item
+    occupation frequencies."""
+    weights = [1.0, 3.0, 6.0, 2.0, 8.0]
+    items = [Item(i, w) for i, w in enumerate(weights)]
+    trials, k, s = 3000, 2, 4
+
+    def run():
+        dist_counts, central_counts = Counter(), Counter()
+        for t in range(trials):
+            proto = DistributedWeightedSWR(k, s, seed=t)
+            proto.run(round_robin(items, k))
+            for item in proto.sample():
+                dist_counts[item.ident] += 1
+            central = WeightedReservoirSWR(s, random.Random(t + 10**6))
+            for item in items:
+                central.insert(item)
+            for item in central.sample():
+                central_counts[item.ident] += 1
+        return dist_counts, central_counts
+
+    dist_counts, central_counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    total_w = sum(weights)
+    rows = [
+        {
+            "item": i,
+            "weight": w,
+            "distributed": dist_counts.get(i, 0) / (trials * s),
+            "centralized": central_counts.get(i, 0) / (trials * s),
+            "exact": w / total_w,
+        }
+        for i, w in enumerate(weights)
+    ]
+    report(
+        format_table(
+            rows,
+            title="E6b: per-slot occupation — distributed vs centralized vs exact",
+            caption=f"trials={trials}, k={k}, s={s}",
+        )
+    )
+    for row in rows:
+        assert abs(row["distributed"] - row["exact"]) < 0.02
+        assert abs(row["centralized"] - row["exact"]) < 0.02

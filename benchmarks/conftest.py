@@ -1,0 +1,22 @@
+"""Benchmark-suite fixtures.
+
+``report`` prints experiment tables with output capture disabled, so
+they land in ``bench_output.txt`` when the suite is run with
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a string straight to the real stdout (bypassing capture)."""
+
+    def _print(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _print

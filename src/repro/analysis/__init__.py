@@ -1,0 +1,25 @@
+"""Bounds, experiment harness, and table rendering for the benchmarks."""
+
+from . import bounds
+from .experiments import (
+    inclusion_frequencies,
+    messages_vs_sample_size,
+    messages_vs_sites,
+    messages_vs_weight,
+    run_swor_once,
+)
+from .tables import format_table, render_rows
+from .validation import CertificationResult, certify_swor
+
+__all__ = [
+    "bounds",
+    "CertificationResult",
+    "certify_swor",
+    "run_swor_once",
+    "messages_vs_weight",
+    "messages_vs_sites",
+    "messages_vs_sample_size",
+    "inclusion_frequencies",
+    "format_table",
+    "render_rows",
+]

@@ -1,0 +1,154 @@
+"""Closed-form message-complexity bounds from the paper's theorems.
+
+Every benchmark prints ``measured / bound`` ratios against these
+functions, so the *shape* claims (linearity in ``log W``, the
+``log(1+k/s)`` denominator, the additive ``k + s`` structure, the
+Section 5 table rows) are auditable.  All bounds are Theta-forms
+evaluated without hidden constants — ratios are expected to be roughly
+flat across a sweep, not equal to 1.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..common.errors import ConfigurationError
+
+__all__ = [
+    "swor_message_bound",
+    "swor_lemma3_bound",
+    "swor_lower_bound",
+    "expected_epochs_bound",
+    "swr_message_bound",
+    "naive_per_site_top_s_bound",
+    "hh_upper_bound",
+    "hh_lower_bound",
+    "l1_upper_this_work",
+    "l1_upper_cmyz_folklore",
+    "l1_upper_hyz",
+    "l1_lower_hyz",
+    "l1_lower_this_work",
+    "swor_advantage_over_naive",
+    "l1_regime_boundary",
+]
+
+
+def _safe_log(x: float) -> float:
+    """``log(x)`` clamped below at values that keep bounds positive."""
+    return math.log(max(x, 2.0))
+
+
+def _check_positive(**kwargs: float) -> None:
+    for name, value in kwargs.items():
+        if value <= 0:
+            raise ConfigurationError(f"{name} must be positive, got {value}")
+
+
+def swor_message_bound(k: int, s: int, total_weight: float) -> float:
+    """Theorem 3: ``k·log(W/s)/log(1+k/s)`` expected messages."""
+    _check_positive(k=k, s=s, total_weight=total_weight)
+    return k * _safe_log(total_weight / s) / math.log(1.0 + k / s)
+
+
+def swor_lemma3_bound(k: int, s: int, total_weight: float) -> float:
+    """Lemma 3's pre-simplification form ``s·r·log(W/s)/log(r)`` with
+    ``r = max(2, k/s)`` — the same Theta, but the natural normalizer
+    for measured counts (early messages come in ``4rs`` batches)."""
+    _check_positive(k=k, s=s, total_weight=total_weight)
+    r = max(2.0, k / s)
+    return s * r * _safe_log(total_weight / s) / math.log(r)
+
+
+def swor_lower_bound(k: int, s: int, total_weight: float) -> float:
+    """Corollary 2: ``Omega(k·log(W/s)/log(1+k/s))`` messages."""
+    return swor_message_bound(k, s, total_weight)
+
+
+def expected_epochs_bound(k: int, s: int, total_weight: float) -> float:
+    """Proposition 5: ``E[epochs] <= 3(log(W/s)/log(r) + 1)``."""
+    _check_positive(k=k, s=s, total_weight=total_weight)
+    r = max(2.0, k / s)
+    return 3.0 * (_safe_log(total_weight / s) / math.log(r) + 1.0)
+
+
+def swr_message_bound(k: int, s: int, total_weight: float) -> float:
+    """Corollary 1: ``(k + s·log s)·log(W)/log(2+k/s)``."""
+    _check_positive(k=k, s=s, total_weight=total_weight)
+    return (k + s * _safe_log(s)) * _safe_log(total_weight) / math.log(2.0 + k / s)
+
+
+def naive_per_site_top_s_bound(k: int, s: int, total_weight: float) -> float:
+    """The Section 1.2 naive protocol: ``O(k·s·log W)`` expected messages."""
+    _check_positive(k=k, s=s, total_weight=total_weight)
+    return k * s * _safe_log(total_weight)
+
+
+def hh_upper_bound(k: int, eps: float, delta: float, total_weight: float) -> float:
+    """Theorem 4: ``(k/log k + log(1/(eps·delta))/eps)·log(eps·W)``."""
+    _check_positive(k=k, eps=eps, delta=delta, total_weight=total_weight)
+    return (
+        k / _safe_log(k) + math.log(1.0 / (eps * delta)) / eps
+    ) * _safe_log(eps * total_weight)
+
+
+def hh_lower_bound(k: int, eps: float, total_weight: float) -> float:
+    """Theorem 5: ``Omega(k·log(W)/log(k) + log(W)/eps)``."""
+    _check_positive(k=k, eps=eps, total_weight=total_weight)
+    return k * _safe_log(total_weight) / _safe_log(k) + _safe_log(total_weight) / eps
+
+
+def l1_upper_this_work(
+    k: int, eps: float, delta: float, total_weight: float
+) -> float:
+    """Theorem 6: ``k·log(eps·W)/log(k) + log(eps·W)·log(1/delta)/eps^2``."""
+    _check_positive(k=k, eps=eps, delta=delta, total_weight=total_weight)
+    logw = _safe_log(eps * total_weight)
+    return k * logw / _safe_log(k) + logw * math.log(1.0 / delta) / (eps * eps)
+
+
+def l1_upper_cmyz_folklore(k: int, eps: float, total_weight: float) -> float:
+    """The "[14] + folklore" row of the Section 5 table: ``k·log(W)/eps``."""
+    _check_positive(k=k, eps=eps, total_weight=total_weight)
+    return k * _safe_log(total_weight) / eps
+
+
+def l1_upper_hyz(k: int, eps: float, delta: float, total_weight: float) -> float:
+    """The [23] row: ``k·log W + sqrt(k)·log(W)·log(1/delta)/eps``."""
+    _check_positive(k=k, eps=eps, delta=delta, total_weight=total_weight)
+    logw = _safe_log(total_weight)
+    return k * logw + math.sqrt(k) * logw * max(1.0, math.log(1.0 / delta)) / eps
+
+
+def l1_lower_hyz(k: int, eps: float, total_weight: float) -> float:
+    """The [23] lower-bound row: ``sqrt(min(k, 1/eps^2))·log(W)/eps``."""
+    _check_positive(k=k, eps=eps, total_weight=total_weight)
+    return math.sqrt(min(float(k), 1.0 / (eps * eps))) * _safe_log(total_weight) / eps
+
+
+def l1_lower_this_work(k: int, total_weight: float) -> float:
+    """Theorem 7's new lower-bound row: ``k·log(W)/log(k)``."""
+    _check_positive(k=k, total_weight=total_weight)
+    return k * _safe_log(total_weight) / _safe_log(k)
+
+
+def swor_advantage_over_naive(k: int, s: int, total_weight: float) -> float:
+    """Factor by which the naive per-site-top-``s`` protocol out-spends
+    Theorem 3: ``[k·s·logW] / [k·log(W/s)/log(1+k/s)]``.
+
+    Grows like ``s·log(1+k/s)`` — the additive-vs-multiplicative gap
+    experiment E3 charts.
+    """
+    return naive_per_site_top_s_bound(k, s, total_weight) / swor_message_bound(
+        k, s, total_weight
+    )
+
+
+def l1_regime_boundary(eps: float) -> float:
+    """``k* = 1/eps^2`` — Section 5's regime boundary.
+
+    For ``k >= k*`` this work's bound is optimal (and beats [23]); for
+    ``k < k*`` the [23] bounds are already tight.
+    """
+    if eps <= 0:
+        raise ConfigurationError(f"eps must be positive, got {eps}")
+    return 1.0 / (eps * eps)

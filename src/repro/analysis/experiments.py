@@ -1,0 +1,175 @@
+"""Experiment harness: parameter sweeps with bound-normalized output.
+
+One-stop helpers used by the benchmark suite.  Each returns a list of
+dict-rows ready for :func:`repro.analysis.tables.format_table`, with a
+``ratio`` column dividing measured messages by the corresponding
+closed-form bound — the quantity the shape claims say should stay
+roughly flat across the sweep.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..common.rng import RandomSource
+from ..core.config import SworConfig
+from ..core.naive import PerSiteTopS
+from ..core.protocol import DistributedWeightedSWOR
+from ..stream.item import DistributedStream, Item
+from ..stream.partitioners import round_robin
+from . import bounds
+
+__all__ = [
+    "run_swor_once",
+    "messages_vs_weight",
+    "messages_vs_sites",
+    "messages_vs_sample_size",
+    "inclusion_frequencies",
+]
+
+
+def run_swor_once(
+    stream: DistributedStream,
+    sample_size: int,
+    seed: int,
+    config_kwargs: Optional[dict] = None,
+) -> Dict[str, float]:
+    """Run the Theorem 3 protocol once; return a measurement row."""
+    cfg = SworConfig(
+        num_sites=stream.num_sites,
+        sample_size=sample_size,
+        **(config_kwargs or {}),
+    )
+    proto = DistributedWeightedSWOR(cfg, seed=seed)
+    counters = proto.run(stream)
+    total_w = stream.total_weight()
+    bound = bounds.swor_message_bound(stream.num_sites, sample_size, total_w)
+    return {
+        "k": stream.num_sites,
+        "s": sample_size,
+        "W": total_w,
+        "messages": counters.total,
+        "upstream": counters.upstream,
+        "downstream": counters.downstream,
+        "early": counters.by_kind.get("early", 0),
+        "regular": counters.by_kind.get("regular", 0),
+        "bound": bound,
+        "ratio": counters.total / bound,
+    }
+
+
+def _mean_rows(rows: List[Dict[str, float]]) -> Dict[str, float]:
+    """Average numeric fields across repetition rows."""
+    out: Dict[str, float] = {}
+    for key in rows[0]:
+        values = [row[key] for row in rows]
+        out[key] = sum(values) / len(values)
+    return out
+
+
+def messages_vs_weight(
+    make_items: Callable[[random.Random, int], Sequence[Item]],
+    weight_steps: Sequence[int],
+    k: int,
+    s: int,
+    reps: int = 3,
+    base_seed: int = 0,
+) -> List[Dict[str, float]]:
+    """E1 sweep: grow the stream (hence ``W``), fix ``k`` and ``s``.
+
+    ``make_items(rng, n)`` builds a length-``n`` stream; ``weight_steps``
+    are the lengths to sweep.
+    """
+    rows = []
+    for n in weight_steps:
+        reps_rows = []
+        for rep in range(reps):
+            rng = random.Random(base_seed * 7919 + n * 31 + rep)
+            stream = round_robin(make_items(rng, n), k)
+            reps_rows.append(run_swor_once(stream, s, seed=base_seed + rep))
+        rows.append(_mean_rows(reps_rows))
+    return rows
+
+
+def messages_vs_sites(
+    make_items: Callable[[random.Random, int], Sequence[Item]],
+    n: int,
+    site_steps: Sequence[int],
+    s: int,
+    reps: int = 3,
+    base_seed: int = 0,
+) -> List[Dict[str, float]]:
+    """E2 sweep: fix the stream, sweep ``k``."""
+    rows = []
+    for k in site_steps:
+        reps_rows = []
+        for rep in range(reps):
+            rng = random.Random(base_seed * 7919 + k * 131 + rep)
+            stream = round_robin(make_items(rng, n), k)
+            reps_rows.append(run_swor_once(stream, s, seed=base_seed + rep))
+        rows.append(_mean_rows(reps_rows))
+    return rows
+
+
+def messages_vs_sample_size(
+    make_items: Callable[[random.Random, int], Sequence[Item]],
+    n: int,
+    k: int,
+    sample_steps: Sequence[int],
+    reps: int = 3,
+    base_seed: int = 0,
+    include_naive: bool = True,
+) -> List[Dict[str, float]]:
+    """E3 sweep: fix stream and ``k``, sweep ``s``; optionally run the
+    naive per-site-top-``s`` baseline on the identical streams."""
+    rows = []
+    for s in sample_steps:
+        reps_rows = []
+        for rep in range(reps):
+            rng = random.Random(base_seed * 7919 + s * 17 + rep)
+            items = make_items(rng, n)
+            stream = round_robin(items, k)
+            row = run_swor_once(stream, s, seed=base_seed + rep)
+            if include_naive:
+                naive = PerSiteTopS(k, s, seed=base_seed + rep + 1000)
+                ncount = naive.run(round_robin(items, k))
+                row["naive_messages"] = ncount.total
+                row["naive_over_ours"] = ncount.total / max(row["messages"], 1)
+            reps_rows.append(row)
+        rows.append(_mean_rows(reps_rows))
+    return rows
+
+
+def inclusion_frequencies(
+    items: Sequence[Item],
+    k: int,
+    s: int,
+    trials: int,
+    base_seed: int = 0,
+    partition_seed: int = 99,
+    protocol_factory: Optional[Callable[[int], object]] = None,
+) -> Dict[int, float]:
+    """E4: empirical inclusion frequency of each identifier over many
+    independent protocol runs (identifiers must be unique per item).
+
+    ``protocol_factory(seed)`` may supply any object with ``run`` and
+    ``sample``; defaults to the Theorem 3 protocol.
+    """
+    from ..stream.partitioners import uniform_random
+
+    counts: Dict[int, int] = {}
+    for trial in range(trials):
+        rng = random.Random(partition_seed)
+        stream = uniform_random(items, k, rng)
+        if protocol_factory is None:
+            proto: object = DistributedWeightedSWOR(
+                SworConfig(num_sites=k, sample_size=s),
+                seed=base_seed + trial,
+            )
+        else:
+            proto = protocol_factory(base_seed + trial)
+        proto.run(stream)  # type: ignore[attr-defined]
+        for item in proto.sample():  # type: ignore[attr-defined]
+            counts[item.ident] = counts.get(item.ident, 0) + 1
+    return {ident: c / trials for ident, c in counts.items()}

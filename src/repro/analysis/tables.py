@@ -1,0 +1,60 @@
+"""Plain-text table rendering for experiment output.
+
+Benchmarks print paper-shaped tables into ``bench_output.txt``; this is
+the one place that controls their formatting, so every experiment's
+output looks the same: a header, aligned columns, and a caption line
+tying it back to the paper artifact it reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["format_table", "render_rows"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_rows(
+    rows: Sequence[Dict[str, Any]], columns: Optional[Sequence[str]] = None
+) -> List[List[str]]:
+    """Convert dict-rows to string cells in a fixed column order."""
+    if not rows:
+        return []
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    rendered = [cols]
+    for row in rows:
+        rendered.append([_fmt(row.get(col, "")) for col in cols])
+    return rendered
+
+
+def format_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    caption: Optional[str] = None,
+) -> str:
+    """Render dict-rows as an aligned ASCII table."""
+    cells = render_rows(rows, columns)
+    if not cells:
+        return (title or "") + "\n(empty table)\n"
+    widths = [max(len(r[i]) for r in cells) for i in range(len(cells[0]))]
+    lines = []
+    if title:
+        lines.append(f"== {title} ==")
+    header = " | ".join(cell.ljust(w) for cell, w in zip(cells[0], widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    if caption:
+        lines.append(f"   ({caption})")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,28 @@
+"""Centralized samplers and summaries: baselines and correctness oracles."""
+
+from .efraimidis_spirakis import SkipWeightedReservoirSWOR, WeightedReservoirSWOR
+from .exact import (
+    exact_heavy_hitters,
+    exact_residual_heavy_hitters,
+    identifier_totals,
+    prefix_l1,
+    residual_tail_weight,
+)
+from .misra_gries import MisraGries, SpaceSaving
+from .priority_sampling import PrioritySampler
+from .reservoir import UnweightedReservoir, WeightedReservoirSWR
+
+__all__ = [
+    "WeightedReservoirSWOR",
+    "SkipWeightedReservoirSWOR",
+    "UnweightedReservoir",
+    "WeightedReservoirSWR",
+    "PrioritySampler",
+    "MisraGries",
+    "SpaceSaving",
+    "identifier_totals",
+    "residual_tail_weight",
+    "exact_heavy_hitters",
+    "exact_residual_heavy_hitters",
+    "prefix_l1",
+]

@@ -1,0 +1,85 @@
+"""Offline exact oracles for evaluating the streaming algorithms.
+
+Ground truth for every experiment: exact per-identifier totals, exact
+residual tail weight ``||x_tail(t)||_1`` (Definitions 5/6), the exact
+set of (residual) heavy hitters, and exact prefix L1.  These run in
+memory over the whole stream and are only used by tests/benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..common.errors import ConfigurationError
+from ..stream.item import Item
+
+__all__ = [
+    "identifier_totals",
+    "residual_tail_weight",
+    "exact_heavy_hitters",
+    "exact_residual_heavy_hitters",
+    "prefix_l1",
+]
+
+
+def identifier_totals(items: Sequence[Item]) -> Dict[int, float]:
+    """Total weight per identifier over the stream prefix given."""
+    totals: Dict[int, float] = defaultdict(float)
+    for item in items:
+        totals[item.ident] += item.weight
+    return dict(totals)
+
+
+def residual_tail_weight(items: Sequence[Item], top: int) -> float:
+    """``||x_tail(top)||_1``: total weight after zeroing the ``top``
+    largest *per-occurrence* coordinates.
+
+    The paper's vector ``x^t`` has one coordinate per stream update
+    (identifiers occurring twice occupy two coordinates), so the tail is
+    computed over update weights, not identifier totals.
+    """
+    if top < 0:
+        raise ConfigurationError(f"top must be >= 0, got {top}")
+    weights = sorted((item.weight for item in items), reverse=True)
+    return float(sum(weights[top:]))
+
+
+def exact_heavy_hitters(items: Sequence[Item], eps: float) -> Set[int]:
+    """Coordinates (update indices) with ``w_i >= eps * ||x||_1``.
+
+    Returns the *update indices* (positions in the stream), matching
+    Definition 5's per-coordinate phrasing.
+    """
+    if not 0 < eps < 1:
+        raise ConfigurationError(f"eps must be in (0,1), got {eps}")
+    total = sum(item.weight for item in items)
+    thresh = eps * total
+    return {i for i, item in enumerate(items) if item.weight >= thresh}
+
+
+def exact_residual_heavy_hitters(
+    items: Sequence[Item], eps: float
+) -> Tuple[Set[int], float]:
+    """Coordinates with ``w_i >= eps * ||x_tail(1/eps)||_1``.
+
+    Returns ``(indices, residual_weight)`` where indices are positions
+    in the stream (Definition 6).
+    """
+    if not 0 < eps < 1:
+        raise ConfigurationError(f"eps must be in (0,1), got {eps}")
+    top = int(1.0 / eps)
+    residual = residual_tail_weight(items, top)
+    thresh = eps * residual
+    hitters = {i for i, item in enumerate(items) if item.weight >= thresh}
+    return hitters, residual
+
+
+def prefix_l1(items: Sequence[Item]) -> List[float]:
+    """Exact ``W_t`` for every prefix ``t = 1..n``."""
+    acc = 0.0
+    out = []
+    for item in items:
+        acc += item.weight
+        out.append(acc)
+    return out

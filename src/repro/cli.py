@@ -1,0 +1,223 @@
+"""Command-line interface: run the paper's protocols from a shell.
+
+Examples::
+
+    python -m repro swor --sites 32 --sample 16 --items 50000
+    python -m repro swr  --sites 8  --sample 16 --items 20000
+    python -m repro hh   --sites 16 --eps 0.1 --items 40000
+    python -m repro l1   --sites 16 --eps 0.2 --items 30000
+    python -m repro bounds --sites 1000 --sample 64 --weight 1e12
+
+Each subcommand synthesizes a seeded workload, runs the protocol, and
+prints a result table (sample / report / estimate plus message counts
+against the relevant closed-form bound).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from .analysis import bounds, format_table
+from .core import DistributedWeightedSWOR, DistributedWeightedSWR, SworConfig
+from .heavy_hitters import ResidualHeavyHitterTracker
+from .l1 import DeterministicCounterTracker, HyzStyleTracker, L1Tracker
+from .stream import (
+    round_robin,
+    two_phase_residual_stream,
+    unit_stream,
+    zipf_stream,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests and docs tooling)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Weighted reservoir sampling from distributed streams "
+        "(PODS 2019) - protocol runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--sites", type=int, default=16, help="number of sites k")
+        p.add_argument("--items", type=int, default=20000, help="stream length")
+        p.add_argument("--seed", type=int, default=0, help="root seed")
+
+    p_swor = sub.add_parser("swor", help="weighted SWOR (Theorem 3)")
+    common(p_swor)
+    p_swor.add_argument("--sample", type=int, default=16, help="sample size s")
+    p_swor.add_argument(
+        "--alpha", type=float, default=1.2, help="Zipf tail index of weights"
+    )
+
+    p_swr = sub.add_parser("swr", help="weighted SWR (Corollary 1)")
+    common(p_swr)
+    p_swr.add_argument("--sample", type=int, default=16)
+    p_swr.add_argument("--alpha", type=float, default=1.2)
+
+    p_hh = sub.add_parser("hh", help="residual heavy hitters (Theorem 4)")
+    common(p_hh)
+    p_hh.add_argument("--eps", type=float, default=0.1)
+    p_hh.add_argument("--delta", type=float, default=0.05)
+
+    p_l1 = sub.add_parser("l1", help="L1 tracking (Theorem 6) vs baselines")
+    common(p_l1)
+    p_l1.add_argument("--eps", type=float, default=0.2)
+    p_l1.add_argument("--delta", type=float, default=0.2)
+
+    p_bounds = sub.add_parser(
+        "bounds", help="print every closed-form bound at given parameters"
+    )
+    p_bounds.add_argument("--sites", type=int, default=16)
+    p_bounds.add_argument("--sample", type=int, default=16)
+    p_bounds.add_argument("--eps", type=float, default=0.1)
+    p_bounds.add_argument("--delta", type=float, default=0.05)
+    p_bounds.add_argument("--weight", type=float, default=1e9)
+    return parser
+
+
+def _cmd_swor(args: argparse.Namespace) -> str:
+    rng = random.Random(args.seed)
+    items = zipf_stream(args.items, rng, alpha=args.alpha)
+    stream = round_robin(items, args.sites)
+    proto = DistributedWeightedSWOR(
+        SworConfig(num_sites=args.sites, sample_size=args.sample),
+        seed=args.seed,
+    )
+    counters = proto.run(stream)
+    w = stream.total_weight()
+    bound = bounds.swor_message_bound(args.sites, args.sample, w)
+    rows = [
+        {"ident": item.ident, "weight": item.weight, "key": key}
+        for item, key in proto.sample_with_keys()
+    ]
+    table = format_table(rows, title="weighted SWOR sample (top keys first)")
+    summary = (
+        f"W={w:.4g}  messages={counters.total} "
+        f"(bound {bound:.0f}, ratio {counters.total / bound:.2f})"
+    )
+    return table + summary
+
+
+def _cmd_swr(args: argparse.Namespace) -> str:
+    rng = random.Random(args.seed)
+    items = zipf_stream(args.items, rng, alpha=args.alpha)
+    stream = round_robin(items, args.sites)
+    proto = DistributedWeightedSWR(args.sites, args.sample, seed=args.seed)
+    counters = proto.run(stream)
+    w = stream.total_weight()
+    bound = bounds.swr_message_bound(args.sites, args.sample, w)
+    rows = [
+        {"slot": i, "ident": item.ident, "weight": item.weight}
+        for i, item in enumerate(proto.sample())
+    ]
+    table = format_table(rows, title="weighted SWR sample (one item per slot)")
+    summary = (
+        f"W={w:.4g}  messages={counters.total} "
+        f"(bound {bound:.0f}, ratio {counters.total / bound:.2f})"
+    )
+    return table + summary
+
+
+def _cmd_hh(args: argparse.Namespace) -> str:
+    rng = random.Random(args.seed)
+    items = two_phase_residual_stream(
+        args.items,
+        rng,
+        num_giants=4,
+        giant_weight=1e7,
+        residual_heavy=5,
+        residual_fraction=min(0.15, args.eps * 1.5),
+    )
+    stream = round_robin(items, args.sites)
+    tracker = ResidualHeavyHitterTracker(
+        args.sites, args.eps, delta=args.delta, seed=args.seed
+    )
+    counters = tracker.run(stream)
+    rows = [
+        {"ident": item.ident, "weight": item.weight}
+        for item in tracker.heavy_hitters()
+    ]
+    table = format_table(
+        rows, title=f"residual heavy hitters (eps={args.eps}, s={tracker.sample_size})"
+    )
+    return table + f"messages={counters.total}"
+
+
+def _cmd_l1(args: argparse.Namespace) -> str:
+    items = unit_stream(args.items)
+    truth = float(args.items)
+    rows = []
+    trackers = [
+        ("this work", L1Tracker(args.sites, args.eps, args.delta, seed=args.seed)),
+        ("deterministic [14]", DeterministicCounterTracker(args.sites, args.eps)),
+        ("hyz-style [23]", HyzStyleTracker(args.sites, args.eps, seed=args.seed)),
+    ]
+    for name, tracker in trackers:
+        counters = tracker.run(round_robin(items, args.sites))
+        estimate = tracker.estimate()
+        rows.append(
+            {
+                "tracker": name,
+                "estimate": estimate,
+                "rel_err": abs(estimate - truth) / truth,
+                "messages": counters.total,
+            }
+        )
+    return format_table(
+        rows, title=f"L1 tracking (W={truth:.0f}, eps={args.eps})"
+    )
+
+
+def _cmd_bounds(args: argparse.Namespace) -> str:
+    k, s, eps, delta, w = (
+        args.sites,
+        args.sample,
+        args.eps,
+        args.delta,
+        args.weight,
+    )
+    rows = [
+        {"bound": "swor upper (Thm 3)", "value": bounds.swor_message_bound(k, s, w)},
+        {"bound": "swor lower (Cor 2)", "value": bounds.swor_lower_bound(k, s, w)},
+        {"bound": "swr upper (Cor 1)", "value": bounds.swr_message_bound(k, s, w)},
+        {"bound": "naive per-site top-s", "value": bounds.naive_per_site_top_s_bound(k, s, w)},
+        {"bound": "hh upper (Thm 4)", "value": bounds.hh_upper_bound(k, eps, delta, w)},
+        {"bound": "hh lower (Thm 5)", "value": bounds.hh_lower_bound(k, eps, w)},
+        {"bound": "l1 upper this work (Thm 6)", "value": bounds.l1_upper_this_work(k, eps, delta, w)},
+        {"bound": "l1 upper [14]+folklore", "value": bounds.l1_upper_cmyz_folklore(k, eps, w)},
+        {"bound": "l1 upper [23]", "value": bounds.l1_upper_hyz(k, eps, delta, w)},
+        {"bound": "l1 lower [23]", "value": bounds.l1_lower_hyz(k, eps, w)},
+        {"bound": "l1 lower this work (Thm 7)", "value": bounds.l1_lower_this_work(k, w)},
+    ]
+    return format_table(
+        rows,
+        title=f"closed-form bounds at k={k}, s={s}, eps={eps}, delta={delta}, W={w:.3g}",
+    )
+
+
+_COMMANDS = {
+    "swor": _cmd_swor,
+    "swr": _cmd_swr,
+    "hh": _cmd_hh,
+    "l1": _cmd_l1,
+    "bounds": _cmd_bounds,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    output = _COMMANDS[args.command](args)
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

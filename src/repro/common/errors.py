@@ -1,0 +1,45 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch every library failure with a single ``except`` clause while
+still distinguishing configuration problems from protocol violations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """An algorithm or simulator was constructed with invalid parameters.
+
+    Raised eagerly at construction time (fail fast) rather than deep in a
+    stream-processing loop, e.g. a non-positive sample size, zero sites,
+    or an epsilon outside ``(0, 1)``.
+    """
+
+
+class InvalidWeightError(ReproError):
+    """A stream item carried a weight the model does not allow.
+
+    The paper (Section 2.1) assumes every weight satisfies ``w >= 1``
+    after normalization; weights must also be finite. The samplers
+    enforce ``w > 0`` and finiteness, and the strict ``w >= 1`` model
+    assumption is enforced by the protocol layer.
+    """
+
+
+class ProtocolViolationError(ReproError):
+    """The distributed protocol reached a state its invariants forbid.
+
+    This signals a bug in the implementation (or deliberate fault
+    injection in tests), not a user error: e.g. a regular message
+    arriving for a level set that was never saturated, or a FIFO channel
+    delivering out of order.
+    """
+
+
+class DrainedStreamError(ReproError):
+    """A stream generator was asked for items after it was exhausted."""

@@ -1,0 +1,119 @@
+"""Statistical validation helpers for sampler correctness tests.
+
+Distributed samplers are validated empirically: run the protocol many
+times with independent seeds, tally which items land in the sample, and
+compare the empirical distribution against the exact law computed by
+:mod:`repro.common.order_stats`.  This module supplies the comparison
+machinery — chi-square goodness of fit, total-variation distance,
+Kolmogorov–Smirnov for continuous quantities (key values, L1 estimates)
+— with scipy used for p-values.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Hashable, Iterable, List, Mapping, Sequence, Tuple
+
+from .errors import ConfigurationError
+
+__all__ = [
+    "chi_square_statistic",
+    "chi_square_pvalue",
+    "total_variation",
+    "ks_statistic",
+    "empirical_inclusion_frequencies",
+    "relative_error",
+    "within_relative_error",
+]
+
+
+def chi_square_statistic(
+    observed: Mapping[Hashable, int], expected: Mapping[Hashable, float]
+) -> Tuple[float, int]:
+    """Pearson chi-square statistic and degrees of freedom.
+
+    ``expected`` maps categories to expected *counts* (not
+    probabilities); categories with expected count 0 must have observed
+    count 0 or the statistic is infinite by convention.
+    """
+    stat = 0.0
+    df = -1
+    for cat, exp in expected.items():
+        obs = observed.get(cat, 0)
+        if exp <= 0.0:
+            if obs:
+                return math.inf, max(df, 1)
+            continue
+        stat += (obs - exp) ** 2 / exp
+        df += 1
+    return stat, max(df, 1)
+
+
+def chi_square_pvalue(stat: float, df: int) -> float:
+    """Upper-tail p-value of the chi-square distribution."""
+    if math.isinf(stat):
+        return 0.0
+    from scipy.stats import chi2
+
+    return float(chi2.sf(stat, df))
+
+
+def total_variation(
+    p: Mapping[Hashable, float], q: Mapping[Hashable, float]
+) -> float:
+    """Total-variation distance between two distributions over categories."""
+    keys = set(p) | set(q)
+    return 0.5 * sum(abs(p.get(k, 0.0) - q.get(k, 0.0)) for k in keys)
+
+
+def ks_statistic(sample: Sequence[float], cdf) -> float:
+    """One-sample Kolmogorov–Smirnov statistic against a CDF callable."""
+    if not sample:
+        raise ConfigurationError("KS statistic needs a non-empty sample")
+    xs = sorted(sample)
+    n = len(xs)
+    worst = 0.0
+    for i, x in enumerate(xs):
+        c = cdf(x)
+        worst = max(worst, abs((i + 1) / n - c), abs(i / n - c))
+    return worst
+
+
+def empirical_inclusion_frequencies(
+    samples: Iterable[Iterable[Hashable]],
+) -> Dict[Hashable, float]:
+    """Fraction of trials in which each item id appeared in the sample."""
+    counts: Counter = Counter()
+    trials = 0
+    for sample in samples:
+        trials += 1
+        for item in set(sample):
+            counts[item] += 1
+    if trials == 0:
+        raise ConfigurationError("no trials supplied")
+    return {item: c / trials for item, c in counts.items()}
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """``|estimate - truth| / truth`` (truth must be nonzero)."""
+    if truth == 0:
+        raise ConfigurationError("relative error undefined for truth == 0")
+    return abs(estimate - truth) / abs(truth)
+
+
+def within_relative_error(estimate: float, truth: float, eps: float) -> bool:
+    """Whether ``estimate`` is a ``(1 ± eps)`` approximation of ``truth``."""
+    return relative_error(estimate, truth) <= eps
+
+
+def mean_and_variance(values: Sequence[float]) -> Tuple[float, float]:
+    """Sample mean and (unbiased) variance; variance 0 for n < 2."""
+    n = len(values)
+    if n == 0:
+        raise ConfigurationError("no values supplied")
+    mean = sum(values) / n
+    if n < 2:
+        return mean, 0.0
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return mean, var

@@ -1,0 +1,45 @@
+"""Machine-word accounting (the paper's space/message unit).
+
+Section 2.1 of the paper measures space and message size in machine
+words of ``Theta(log(nW))`` bits, assuming an identifier and a weight
+each fit in O(1) words.  The simulator reports message *counts* (the
+primary metric) but also validates that each concrete message payload is
+O(1) words so counts and communicated words agree up to a constant —
+Proposition 7's claim.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+__all__ = ["word_size_bits", "words_for_value", "words_for_payload"]
+
+
+def word_size_bits(n: int, total_weight: float) -> int:
+    """Bits per machine word for a stream of ``n`` items, weight ``W``."""
+    magnitude = max(2.0, float(n) * max(2.0, total_weight))
+    return max(32, int(math.ceil(math.log2(magnitude))))
+
+
+def words_for_value(value: float, word_bits: int = 64) -> int:
+    """Words needed to encode one identifier/weight/key value."""
+    if value == 0:
+        return 1
+    bits = max(1, int(math.ceil(math.log2(abs(value) + 1))) + 1)
+    return max(1, int(math.ceil(bits / word_bits)))
+
+
+def words_for_payload(payload: Tuple, word_bits: int = 64) -> int:
+    """Total words to encode a tuple payload, one field at a time.
+
+    Strings (message kind tags) cost one word — they stand for a small
+    enum on the wire, not the actual text.
+    """
+    total = 0
+    for field in payload:
+        if isinstance(field, (int, float)):
+            total += words_for_value(float(field), word_bits)
+        else:
+            total += 1
+    return max(1, total)

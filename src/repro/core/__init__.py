@@ -1,0 +1,27 @@
+"""The paper's core contribution: distributed weighted sampling protocols."""
+
+from .config import SworConfig
+from .coordinator import SworCoordinator
+from .epochs import EpochTracker
+from .levels import LevelSetManager, level_of
+from .naive import PerSiteTopS, SendEverything
+from .protocol import DistributedWeightedSWOR
+from .sample_set import TopKeySample
+from .site import SworSite
+from .swr import DistributedWeightedSWR
+from .unweighted import DistributedUnweightedSWOR
+
+__all__ = [
+    "SworConfig",
+    "DistributedWeightedSWOR",
+    "SworSite",
+    "SworCoordinator",
+    "TopKeySample",
+    "LevelSetManager",
+    "level_of",
+    "EpochTracker",
+    "DistributedWeightedSWR",
+    "DistributedUnweightedSWOR",
+    "SendEverything",
+    "PerSiteTopS",
+]

@@ -1,0 +1,73 @@
+"""Shared configuration for the distributed weighted SWOR protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..common.errors import ConfigurationError
+
+__all__ = ["SworConfig"]
+
+
+@dataclass(frozen=True)
+class SworConfig:
+    """Parameters of Algorithms 1–3.
+
+    Attributes
+    ----------
+    num_sites:
+        ``k``, the number of sites.
+    sample_size:
+        ``s``, the target sample size.
+    level_set_factor:
+        Saturation happens at ``level_set_factor * r * s`` items; the
+        paper uses 4 (Lemma 1 needs the released fraction ``<= 1/(4s)``).
+        Exposed for the ablation benchmark.
+    level_sets_enabled:
+        Ablation switch: ``False`` releases every item straight to the
+        sampler (no withholding) — experiment E5 shows why that's bad.
+    epoch_base_override:
+        Use a custom epoch/level base instead of ``max(2, k/s)``
+        (ablation of the ``r`` choice).
+    count_bits:
+        Generate site-side exponentials bit-by-bit (Proposition 7) and
+        record bits used; slower, only for the resource experiment.
+    """
+
+    num_sites: int
+    sample_size: int
+    level_set_factor: float = 4.0
+    level_sets_enabled: bool = True
+    epoch_base_override: Optional[float] = None
+    count_bits: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_sites <= 0:
+            raise ConfigurationError(
+                f"num_sites must be positive, got {self.num_sites}"
+            )
+        if self.sample_size <= 0:
+            raise ConfigurationError(
+                f"sample_size must be positive, got {self.sample_size}"
+            )
+        if self.level_set_factor <= 0:
+            raise ConfigurationError(
+                f"level_set_factor must be positive, got {self.level_set_factor}"
+            )
+        if self.epoch_base_override is not None and self.epoch_base_override < 2.0:
+            raise ConfigurationError(
+                f"epoch base must be >= 2, got {self.epoch_base_override}"
+            )
+
+    @property
+    def r(self) -> float:
+        """The paper's ``r = max(2, k/s)`` (unless overridden)."""
+        if self.epoch_base_override is not None:
+            return float(self.epoch_base_override)
+        return max(2.0, self.num_sites / self.sample_size)
+
+    @property
+    def saturation_size(self) -> int:
+        """Items needed to saturate one level set (``4rs`` by default)."""
+        return max(1, int(round(self.level_set_factor * self.r * self.sample_size)))

@@ -1,0 +1,76 @@
+"""The coordinator's sample set ``S`` — top-``s`` keys with a threshold.
+
+Algorithm 3 ("Add-to-Sample") maintains the invariant that ``S`` holds
+the items with the ``s`` largest keys seen by the sampler, and exposes
+``u``, the smallest key in a full ``S`` — the quantity whose epoch
+bracket drives all site-side filtering.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from ..common.errors import ConfigurationError
+from ..stream.item import Item
+
+__all__ = ["TopKeySample"]
+
+
+class TopKeySample:
+    """A bounded min-heap of ``(key, item)`` keeping the top ``s`` keys.
+
+    ``threshold`` is the paper's ``u``: the ``s``-th largest key once
+    the set is full, and ``0`` before that (matching Algorithm 2's
+    initialization ``u <- 0``, which makes every key pass).
+    """
+
+    def __init__(self, sample_size: int) -> None:
+        if sample_size <= 0:
+            raise ConfigurationError(
+                f"sample size must be positive, got {sample_size}"
+            )
+        self.sample_size = sample_size
+        self._heap: List[Tuple[float, int, Item]] = []
+        self._counter = 0  # tiebreak so equal keys stay heap-comparable
+
+    def add(self, item: Item, key: float) -> Optional[Item]:
+        """Insert ``(item, key)``; evict and return the displaced item.
+
+        Returns ``None`` when nothing was evicted (set was underfull) —
+        note an insertion whose key is *below* the threshold still
+        enters and immediately evicts itself is impossible here because
+        callers filter on ``key > threshold`` first; we defensively
+        discard such keys and report the incoming item as displaced.
+        """
+        entry = (key, self._counter, item)
+        self._counter += 1
+        if len(self._heap) < self.sample_size:
+            heapq.heappush(self._heap, entry)
+            return None
+        if key <= self._heap[0][0]:
+            return item
+        evicted = heapq.heapreplace(self._heap, entry)
+        return evicted[2]
+
+    @property
+    def threshold(self) -> float:
+        """``u`` — the ``s``-th largest key, or 0 while underfull."""
+        if len(self._heap) < self.sample_size:
+            return 0.0
+        return self._heap[0][0]
+
+    @property
+    def full(self) -> bool:
+        return len(self._heap) >= self.sample_size
+
+    def entries(self) -> List[Tuple[Item, float]]:
+        """``(item, key)`` pairs in decreasing key order."""
+        return [(e[2], e[0]) for e in sorted(self._heap, key=lambda e: -e[0])]
+
+    def items(self) -> List[Item]:
+        """Sampled items in decreasing key order."""
+        return [e[2] for e in sorted(self._heap, key=lambda e: -e[0])]
+
+    def __len__(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,135 @@
+"""Site-side algorithm for distributed weighted SWOR (paper Algorithm 1).
+
+Per arrival the site does O(1) work:
+
+1. compute the item's level ``j``;
+2. if ``D_j`` is (as far as the site knows) unsaturated, forward the raw
+   item as an *early* message — no key is generated at the site;
+3. otherwise generate the precision-sampling key ``v = w/t`` and send a
+   *regular* message iff ``v`` beats the last epoch threshold the
+   coordinator announced.
+
+Control traffic updates the site's two pieces of state: the saturated-
+level bitmask and the epoch threshold ``u_i`` — together O(1) machine
+words, the paper's optimal site space (Proposition 6).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List
+
+from ..common.errors import ProtocolViolationError
+from ..common.rng import LazyExponential, exponential
+from ..net.messages import EARLY, EPOCH_UPDATE, LEVEL_SATURATED, Message, REGULAR
+from ..net.simulator import SiteAlgorithm
+from ..stream.item import Item
+from .config import SworConfig
+from .levels import level_of
+
+__all__ = ["SworSite"]
+
+
+class SworSite(SiteAlgorithm):
+    """One site of the weighted-SWOR protocol.
+
+    Parameters
+    ----------
+    site_id:
+        This site's index in ``0..k-1``.
+    config:
+        Shared protocol parameters.
+    rng:
+        Site-local randomness (independent across sites).
+    """
+
+    def __init__(self, site_id: int, config: SworConfig, rng: random.Random) -> None:
+        self.site_id = site_id
+        self.config = config
+        self._rng = rng
+        self._r = config.r
+        # Bitmask of saturated levels (level j -> bit j): O(1) words for
+        # any realistic W since levels top out at log_r(W).
+        self._saturated_mask = 0
+        self._threshold = 0.0  # u_i, last announced epoch floor r^j
+        self.items_seen = 0
+        self.exponentials_generated = 0
+        self.bits_generated = 0
+
+    # -- SiteAlgorithm interface ------------------------------------
+
+    def on_item(self, item: Item) -> List[Message]:
+        """Algorithm 1 main loop for one arrival."""
+        self.items_seen += 1
+        if self.config.level_sets_enabled:
+            level = level_of(item.weight, self._r)
+            if not (self._saturated_mask >> level) & 1:
+                return [Message(EARLY, (item.ident, item.weight))]
+        if self.config.count_bits:
+            return self._regular_lazy(item)
+        return self._regular_fast(item)
+
+    def on_control(self, message: Message) -> None:
+        """Handle ``LEVEL_SATURATED`` / ``EPOCH_UPDATE`` broadcasts."""
+        if message.kind == LEVEL_SATURATED:
+            (level,) = message.payload
+            self._saturated_mask |= 1 << level
+        elif message.kind == EPOCH_UPDATE:
+            (threshold,) = message.payload
+            if threshold < self._threshold:
+                raise ProtocolViolationError(
+                    f"epoch threshold moved backwards: "
+                    f"{self._threshold} -> {threshold}"
+                )
+            self._threshold = threshold
+        else:
+            raise ProtocolViolationError(
+                f"site {self.site_id} got unexpected control {message.kind!r}"
+            )
+
+    def state_words(self) -> int:
+        """Persistent state in machine words: bitmask + threshold + r."""
+        mask_words = max(1, (self._saturated_mask.bit_length() + 63) // 64)
+        return mask_words + 2
+
+    # -- internals ----------------------------------------------------
+
+    def _regular_fast(self, item: Item) -> List[Message]:
+        """Generate the key with one full-precision exponential."""
+        t = exponential(self._rng)
+        self.exponentials_generated += 1
+        v = item.weight / t
+        if v > self._threshold:
+            return [Message(REGULAR, (item.ident, item.weight, v))]
+        return []
+
+    def _regular_lazy(self, item: Item) -> List[Message]:
+        """Proposition 7 mode: reveal only the bits the comparison needs.
+
+        ``v > u``  iff  ``t < w/u``; with ``u == 0`` every key passes
+        and must be materialized.
+        """
+        lazy = LazyExponential(self._rng)
+        self.exponentials_generated += 1
+        u = self._threshold
+        if u <= 0.0:
+            v = item.weight / lazy.value()
+            self.bits_generated += lazy.bits_used
+            return [Message(REGULAR, (item.ident, item.weight, v))]
+        send = lazy.below(item.weight / u)
+        if not send:
+            self.bits_generated += lazy.bits_used
+            return []
+        v = item.weight / lazy.value()
+        self.bits_generated += lazy.bits_used  # cumulative: includes below()
+        if not math.isfinite(v):
+            v = item.weight / 1e-300
+        return [Message(REGULAR, (item.ident, item.weight, v))]
+
+    @property
+    def mean_bits_per_comparison(self) -> float:
+        """Average bits revealed per generated exponential (E12 metric)."""
+        if self.exponentials_generated == 0:
+            return 0.0
+        return self.bits_generated / self.exponentials_generated

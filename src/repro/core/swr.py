@@ -1,0 +1,181 @@
+"""Distributed weighted sampling *with* replacement (Corollary 1).
+
+The paper reduces weighted SWR to unweighted SWR [14] by conceptually
+duplicating an item of weight ``w`` into ``w`` unit items, then removes
+the ``O(w)`` blow-up with two tricks it spells out in the Corollary 1
+proof, both implemented here:
+
+* **aggregate coin** — for one single-item sampler at threshold ``τ``,
+  the probability that *any* of the ``w`` duplicates would be forwarded
+  is ``α(w, τ) = 1 - (1-τ)^w``; the site flips one coin instead of ``w``;
+* **binomial batching** — across the ``s`` independent samplers, the
+  number forwarding is ``Binomial(s, α)``; the site draws it once and
+  picks a uniform subset of samplers, which (as the paper notes) equals
+  the law of ``s`` independent decisions.
+
+Keys: each sampler tracks the *minimum* of per-duplicate uniform keys;
+``min`` of ``w`` uniforms has tail ``(1-x)^w``, so the item with the
+global minimum key is a single weighted sample — exactly Definition 2
+per sampler, independent across samplers.  Thresholds are maintained as
+powers of ``β = 2 + k/s`` bracketing the worst (largest) per-sampler
+minimum, giving the ``log(W)/log(2+k/s)`` round structure of [14].
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Tuple
+
+from ..common.errors import ConfigurationError, ProtocolViolationError
+from ..common.rng import RandomSource, binomial
+from ..net.counters import MessageCounters
+from ..net.messages import Message, ROUND_UPDATE, SWR_SAMPLE
+from ..net.simulator import BROADCAST, CoordinatorAlgorithm, Network, SiteAlgorithm
+from ..stream.item import DistributedStream, Item
+
+__all__ = ["DistributedWeightedSWR"]
+
+
+class _SwrSite(SiteAlgorithm):
+    """Site half of the SWR protocol."""
+
+    def __init__(self, sample_size: int, rng: random.Random) -> None:
+        self.sample_size = sample_size
+        self._rng = rng
+        self._threshold = 1.0  # uniform keys live in (0,1)
+        self.items_seen = 0
+
+    def on_item(self, item: Item) -> List[Message]:
+        self.items_seen += 1
+        w = item.weight
+        tau = self._threshold
+        if tau >= 1.0:
+            alpha = 1.0
+        else:
+            # alpha = 1 - (1-tau)^w, computed stably for tiny tau.
+            alpha = -math.expm1(w * math.log1p(-tau))
+        hits = binomial(self._rng, self.sample_size, alpha)
+        if hits == 0:
+            return []
+        chosen = self._rng.sample(range(self.sample_size), hits)
+        messages = []
+        for sampler_id in chosen:
+            key = self._conditional_min_key(w, tau, alpha)
+            messages.append(
+                Message(SWR_SAMPLE, (sampler_id, item.ident, w, key))
+            )
+        return messages
+
+    def _conditional_min_key(self, w: float, tau: float, alpha: float) -> float:
+        """Min-of-``w``-uniforms key conditioned on being below ``tau``.
+
+        CDF ``F(x) = 1-(1-x)^w``; inverse of ``u*F(tau)`` is
+        ``1 - (1 - u*alpha)^{1/w}``.
+        """
+        u = self._rng.random()
+        x = -math.expm1(math.log1p(-u * alpha) / w)
+        if tau < 1.0:
+            x = min(x, tau * (1.0 - 1e-12))
+        return max(x, 1e-300)
+
+    def on_control(self, message: Message) -> None:
+        if message.kind != ROUND_UPDATE:
+            raise ProtocolViolationError(
+                f"SWR site got unexpected control {message.kind!r}"
+            )
+        (threshold,) = message.payload
+        if threshold > self._threshold:
+            raise ProtocolViolationError("SWR threshold increased")
+        self._threshold = threshold
+
+    def state_words(self) -> int:
+        return 2
+
+
+class _SwrCoordinator(CoordinatorAlgorithm):
+    """Coordinator half: per-sampler minimum keys + round broadcasts."""
+
+    def __init__(self, sample_size: int, beta: float) -> None:
+        self.sample_size = sample_size
+        self.beta = beta
+        self._min_keys: List[float] = [math.inf] * sample_size
+        self._slots: List[Optional[Item]] = [None] * sample_size
+        self._announced = 1.0
+        self.rounds_announced = 0
+
+    def on_message(self, site_id: int, message: Message) -> List[Tuple[int, Message]]:
+        if message.kind != SWR_SAMPLE:
+            raise ProtocolViolationError(f"SWR coordinator got {message.kind!r}")
+        sampler_id, ident, weight, key = message.payload
+        if key < self._min_keys[sampler_id]:
+            self._min_keys[sampler_id] = key
+            self._slots[sampler_id] = Item(ident, weight)
+        return self._maybe_advance_round()
+
+    def _maybe_advance_round(self) -> List[Tuple[int, Message]]:
+        worst = max(self._min_keys)
+        if not math.isfinite(worst) or worst <= 0.0:
+            return []
+        # Smallest beta-power >= worst: beta^-j with j = floor(-log_beta).
+        j = int(math.floor(-math.log(worst) / math.log(self.beta)))
+        j = max(j, 0)
+        bracket = self.beta**-j
+        if bracket < worst:  # float-edge correction
+            j -= 1
+            bracket = self.beta**-j
+        if bracket < self._announced:
+            self._announced = bracket
+            self.rounds_announced += 1
+            return [(BROADCAST, Message(ROUND_UPDATE, (bracket,)))]
+        return []
+
+    def sample(self) -> List[Item]:
+        """One item per sampler slot — the with-replacement sample."""
+        return [slot for slot in self._slots if slot is not None]
+
+    def state_words(self) -> int:
+        return 3 * self.sample_size + 2
+
+
+class DistributedWeightedSWR:
+    """Message-efficient distributed weighted SWR (Corollary 1).
+
+    Parameters
+    ----------
+    num_sites / sample_size:
+        ``k`` and ``s``.
+    seed:
+        Root seed for site/coordinator sub-streams.
+    """
+
+    def __init__(
+        self, num_sites: int, sample_size: int, seed: Optional[int] = None
+    ) -> None:
+        if num_sites <= 0 or sample_size <= 0:
+            raise ConfigurationError("num_sites and sample_size must be positive")
+        self.num_sites = num_sites
+        self.sample_size = sample_size
+        self.beta = 2.0 + num_sites / sample_size
+        source = RandomSource(seed)
+        self.sites = [
+            _SwrSite(sample_size, source.substream(f"swr-site-{i}"))
+            for i in range(num_sites)
+        ]
+        self.coordinator = _SwrCoordinator(sample_size, self.beta)
+        self.network = Network(self.sites, self.coordinator)
+
+    def run(self, stream: DistributedStream, **kwargs) -> MessageCounters:
+        """Replay a distributed stream; returns message counters."""
+        return self.network.run(stream, **kwargs)
+
+    def process(self, site_id: int, item: Item) -> None:
+        self.network.step(site_id, item)
+
+    def sample(self) -> List[Item]:
+        """The current weighted sample *with* replacement (one per slot)."""
+        return self.coordinator.sample()
+
+    @property
+    def counters(self) -> MessageCounters:
+        return self.network.counters

@@ -1,0 +1,144 @@
+"""Distributed *unweighted* SWOR — the [11]/[31] baseline protocol.
+
+The thresholded-uniform-key protocol that the paper's weighted algorithm
+generalizes: every item gets a uniform key, the coordinator keeps the
+``s`` smallest keys, and sites filter against a broadcast bracket of the
+``s``-th smallest key (powers of ``1/r``, ``r = max(2, k/s)``).
+
+Used two ways: as the baseline whose lower bound (Theorem 2) transfers
+to weighted SWOR (Corollary 2), and as an independently-implemented
+cross-check — on unit-weight streams the weighted protocol must match
+this one's sample law and message shape.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from typing import List, Optional, Tuple
+
+from ..common.errors import ConfigurationError, ProtocolViolationError
+from ..common.rng import RandomSource
+from ..net.counters import MessageCounters
+from ..net.messages import Message, REGULAR, ROUND_UPDATE
+from ..net.simulator import BROADCAST, CoordinatorAlgorithm, Network, SiteAlgorithm
+from ..stream.item import DistributedStream, Item
+
+__all__ = ["DistributedUnweightedSWOR"]
+
+
+class _UnweightedSite(SiteAlgorithm):
+    """Site half: forward items whose uniform key beats the bracket."""
+
+    def __init__(self, config: "DistributedUnweightedSWOR", rng: random.Random):
+        self._rng = rng
+        self._threshold = 1.0  # keys live in (0,1); start unfiltered
+        self.items_seen = 0
+
+    def on_item(self, item: Item) -> List[Message]:
+        self.items_seen += 1
+        key = self._rng.random()
+        while key <= 0.0:
+            key = self._rng.random()
+        if key < self._threshold:
+            return [Message(REGULAR, (item.ident, item.weight, key))]
+        return []
+
+    def on_control(self, message: Message) -> None:
+        if message.kind != ROUND_UPDATE:
+            raise ProtocolViolationError(
+                f"unweighted site got unexpected control {message.kind!r}"
+            )
+        (threshold,) = message.payload
+        if threshold > self._threshold:
+            raise ProtocolViolationError("unweighted threshold increased")
+        self._threshold = threshold
+
+    def state_words(self) -> int:
+        return 2
+
+
+class _UnweightedCoordinator(CoordinatorAlgorithm):
+    """Coordinator half: keep the ``s`` smallest keys; bracket-broadcast."""
+
+    def __init__(self, sample_size: int, r: float) -> None:
+        self.sample_size = sample_size
+        self.r = r
+        # Max-heap (negated keys) of the s smallest keys.
+        self._heap: List[Tuple[float, int, Item]] = []
+        self._counter = 0
+        self._epoch = 0  # threshold bracket r^-epoch currently announced
+
+    @property
+    def threshold(self) -> float:
+        """``s``-th smallest key (1.0 while underfull)."""
+        if len(self._heap) < self.sample_size:
+            return 1.0
+        return -self._heap[0][0]
+
+    def on_message(self, site_id: int, message: Message) -> List[Tuple[int, Message]]:
+        if message.kind != REGULAR:
+            raise ProtocolViolationError(
+                f"unweighted coordinator got {message.kind!r}"
+            )
+        ident, weight, key = message.payload
+        entry = (-key, self._counter, Item(ident, weight))
+        self._counter += 1
+        if len(self._heap) < self.sample_size:
+            heapq.heappush(self._heap, entry)
+        elif key < -self._heap[0][0]:
+            heapq.heapreplace(self._heap, entry)
+        else:
+            return []
+        u = self.threshold
+        if u >= 1.0 or u <= 0.0:
+            return []
+        new_epoch = int(math.floor(-math.log(u) / math.log(self.r)))
+        if new_epoch > self._epoch:
+            self._epoch = new_epoch
+            bracket = self.r**-new_epoch
+            return [(BROADCAST, Message(ROUND_UPDATE, (bracket,)))]
+        return []
+
+    def sample(self) -> List[Item]:
+        """Current uniform SWOR (increasing key order)."""
+        return [e[2] for e in sorted(self._heap, key=lambda e: -e[0])]
+
+    def state_words(self) -> int:
+        return 3 * len(self._heap) + 2
+
+
+class DistributedUnweightedSWOR:
+    """Facade mirroring :class:`~repro.core.protocol.DistributedWeightedSWOR`."""
+
+    def __init__(
+        self, num_sites: int, sample_size: int, seed: Optional[int] = None
+    ) -> None:
+        if num_sites <= 0 or sample_size <= 0:
+            raise ConfigurationError("num_sites and sample_size must be positive")
+        self.num_sites = num_sites
+        self.sample_size = sample_size
+        self.r = max(2.0, num_sites / sample_size)
+        source = RandomSource(seed)
+        self.sites = [
+            _UnweightedSite(self, source.substream(f"usite-{i}"))
+            for i in range(num_sites)
+        ]
+        self.coordinator = _UnweightedCoordinator(sample_size, self.r)
+        self.network = Network(self.sites, self.coordinator)
+
+    def run(self, stream: DistributedStream, **kwargs) -> MessageCounters:
+        """Replay a distributed stream; returns message counters."""
+        return self.network.run(stream, **kwargs)
+
+    def process(self, site_id: int, item: Item) -> None:
+        self.network.step(site_id, item)
+
+    def sample(self) -> List[Item]:
+        """The current uniform sample without replacement."""
+        return self.coordinator.sample()
+
+    @property
+    def counters(self) -> MessageCounters:
+        return self.network.counters

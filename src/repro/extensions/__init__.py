@@ -1,0 +1,16 @@
+"""Extensions beyond the paper's core results.
+
+Section 6 of the paper lists open problems; this package implements the
+centralized building blocks for two of them, plus the cascade-sampling
+oracle from the related work:
+
+* :class:`SlidingWindowWeightedSWOR` — exact weighted SWOR over any
+  recent window (the sliding-window extension, centralized case);
+* :class:`CascadeWeightedSWOR` — the Braverman–Ostrovsky–Vorsanger [7]
+  construction, used as an independent cross-validation oracle.
+"""
+
+from .cascade import CascadeWeightedSWOR
+from .sliding_window import SlidingWindowWeightedSWOR
+
+__all__ = ["SlidingWindowWeightedSWOR", "CascadeWeightedSWOR"]

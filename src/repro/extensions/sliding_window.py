@@ -1,0 +1,132 @@
+"""Sliding-window weighted SWOR — the paper's named open problem.
+
+Section 6 asks to "extend our algorithm for weighted sampling to the
+sliding window model of streaming, where only the most recent data is
+taken into account".  This module contributes the centralized building
+block: a sampler that, at any moment, can produce an exact weighted
+SWOR of the last ``N`` arrivals for *any* ``N`` up to a configured
+horizon — in expected ``O(s·log(n/s))`` space rather than buffering the
+window.
+
+The construction extends exponential-key precision sampling with the
+classic dominance argument (Babcock–Datar–Motwani for the unweighted
+case): give every arrival its key ``v = w/t`` and keep an item iff
+fewer than ``s`` *later* arrivals have larger keys.  For any window
+(a suffix of the arrival order), the top-``s`` keys within the window
+are then all retained — because an evicted item had ``s`` later
+dominators, which all belong to every window that contains it — so a
+query is just "top-``s`` retained keys inside the window", which is an
+exact weighted SWOR of the window by Proposition 1.
+
+The distributed version remains open, as in the paper; this sampler is
+what each site (or the coordinator, on centralized replay) would run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..common.errors import ConfigurationError, InvalidWeightError
+from ..common.rng import exponential
+from ..stream.item import Item
+
+__all__ = ["SlidingWindowWeightedSWOR"]
+
+
+class _Entry:
+    __slots__ = ("index", "item", "key", "dominators")
+
+    def __init__(self, index: int, item: Item, key: float) -> None:
+        self.index = index
+        self.item = item
+        self.key = key
+        self.dominators = 0  # later arrivals with a strictly larger key
+
+
+class SlidingWindowWeightedSWOR:
+    """Exact weighted SWOR over any recent window of a weighted stream.
+
+    Parameters
+    ----------
+    sample_size:
+        ``s`` — the sample size served for any queried window.
+    rng:
+        Randomness source (one exponential per arrival).
+    horizon:
+        Optional maximum window length; arrivals older than the horizon
+        are discarded outright (bounds worst-case space for infinite
+        streams).
+
+    Notes
+    -----
+    Retained set size is ``O(s·log(n/s))`` in expectation for ``n``
+    arrivals in the horizon: the ``i``-th most recent arrival survives
+    only if its key ranks in the top ``s`` among ``i`` i.i.d.-shaped
+    competitors, an event of probability ``~min(1, s/i)``.
+    """
+
+    def __init__(
+        self,
+        sample_size: int,
+        rng: random.Random,
+        horizon: Optional[int] = None,
+    ) -> None:
+        if sample_size <= 0:
+            raise ConfigurationError(
+                f"sample size must be positive, got {sample_size}"
+            )
+        if horizon is not None and horizon <= 0:
+            raise ConfigurationError(f"horizon must be positive, got {horizon}")
+        self.sample_size = sample_size
+        self.horizon = horizon
+        self._rng = rng
+        self._entries: List[_Entry] = []  # in arrival order
+        self.items_seen = 0
+
+    def insert(self, item: Item) -> None:
+        """Observe one arrival; O(retained) time."""
+        w = item.weight
+        if w <= 0 or w != w:  # noqa: PLR0124 - NaN check
+            raise InvalidWeightError(f"invalid weight {w} for item {item.ident}")
+        self.items_seen += 1
+        key = w / exponential(self._rng)
+        s = self.sample_size
+        survivors: List[_Entry] = []
+        for entry in self._entries:
+            if entry.key < key:
+                entry.dominators += 1
+            if entry.dominators < s:
+                survivors.append(entry)
+        survivors.append(_Entry(self.items_seen - 1, item, key))
+        if self.horizon is not None:
+            cutoff = self.items_seen - self.horizon
+            survivors = [e for e in survivors if e.index >= cutoff]
+        self._entries = survivors
+
+    def retained_count(self) -> int:
+        """Number of retained candidates (the space metric)."""
+        return len(self._entries)
+
+    def sample(self, window: Optional[int] = None) -> List[Item]:
+        """Weighted SWOR of the last ``window`` arrivals (default: the
+        whole horizon / stream).  Decreasing key order."""
+        return [item for item, _ in self.sample_with_keys(window)]
+
+    def sample_with_keys(
+        self, window: Optional[int] = None
+    ) -> List[Tuple[Item, float]]:
+        """``(item, key)`` pairs for the window's top-``s`` keys."""
+        if window is not None:
+            if window <= 0:
+                raise ConfigurationError(f"window must be positive, got {window}")
+            if self.horizon is not None and window > self.horizon:
+                raise ConfigurationError(
+                    f"window {window} exceeds horizon {self.horizon}"
+                )
+            cutoff = self.items_seen - window
+        else:
+            cutoff = self.items_seen - (self.horizon or self.items_seen)
+        eligible = [e for e in self._entries if e.index >= cutoff]
+        eligible.sort(key=lambda e: -e.key)
+        return [(e.item, e.key) for e in eligible[: self.sample_size]]

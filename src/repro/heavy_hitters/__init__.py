@@ -1,0 +1,15 @@
+"""Residual heavy-hitter tracking (Theorem 4) and guarantee scoring."""
+
+from .guarantees import HitterScore, score_l1_report, score_residual_report
+from .residual import ResidualHeavyHitterTracker, theorem4_sample_size
+from .swr_baseline import SwrHeavyHitterTracker, coupon_collector_sample_size
+
+__all__ = [
+    "ResidualHeavyHitterTracker",
+    "theorem4_sample_size",
+    "SwrHeavyHitterTracker",
+    "coupon_collector_sample_size",
+    "HitterScore",
+    "score_l1_report",
+    "score_residual_report",
+]

@@ -1,0 +1,60 @@
+"""Guarantee checking for heavy-hitter reports.
+
+Scores a reported identifier set against the exact Definition 5 / 6
+targets computed by :mod:`repro.centralized.exact`.  Benchmarks report
+recall (the quantity the theorems promise: recall 1 w.p. ``1-delta``)
+and precision/size for context.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, NamedTuple, Sequence, Set
+
+from ..centralized.exact import (
+    exact_heavy_hitters,
+    exact_residual_heavy_hitters,
+)
+from ..stream.item import Item
+
+__all__ = ["HitterScore", "score_l1_report", "score_residual_report"]
+
+
+class HitterScore(NamedTuple):
+    """Evaluation of one heavy-hitter report."""
+
+    recall: float  # fraction of true hitters reported (the guarantee)
+    precision: float  # fraction of the report that is truly heavy
+    true_count: int
+    reported_count: int
+    missed: Set[int]
+
+
+def _score(reported_ids: Set[int], true_ids: Set[int]) -> HitterScore:
+    if not true_ids:
+        return HitterScore(1.0, 0.0 if reported_ids else 1.0, 0, len(reported_ids), set())
+    hit = reported_ids & true_ids
+    recall = len(hit) / len(true_ids)
+    precision = len(hit) / len(reported_ids) if reported_ids else 0.0
+    return HitterScore(recall, precision, len(true_ids), len(reported_ids), true_ids - reported_ids)
+
+
+def score_l1_report(
+    stream_prefix: Sequence[Item], reported: Iterable[Item], eps: float
+) -> HitterScore:
+    """Score against the classic Definition 5 targets.
+
+    Identifiers must be unique per update (the generators guarantee it),
+    so coordinates and identifiers coincide.
+    """
+    true_idx = exact_heavy_hitters(stream_prefix, eps)
+    true_ids = {stream_prefix[i].ident for i in true_idx}
+    return _score({item.ident for item in reported}, true_ids)
+
+
+def score_residual_report(
+    stream_prefix: Sequence[Item], reported: Iterable[Item], eps: float
+) -> HitterScore:
+    """Score against the residual Definition 6 targets."""
+    true_idx, _residual = exact_residual_heavy_hitters(stream_prefix, eps)
+    true_ids = {stream_prefix[i].ident for i in true_idx}
+    return _score({item.ident for item in reported}, true_ids)

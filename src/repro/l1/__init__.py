@@ -1,0 +1,12 @@
+"""Distributed L1 (count) tracking: Section 5 algorithm and baselines."""
+
+from .baselines import DeterministicCounterTracker, HyzStyleTracker
+from .tracker import L1Tracker, theorem6_duplication, theorem6_sample_size
+
+__all__ = [
+    "L1Tracker",
+    "theorem6_sample_size",
+    "theorem6_duplication",
+    "DeterministicCounterTracker",
+    "HyzStyleTracker",
+]

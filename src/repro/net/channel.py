@@ -1,0 +1,69 @@
+"""FIFO channels between sites and the coordinator.
+
+The model (Section 2.1) assumes FIFO delivery, no loss, and no crashes.
+The synchronous driver in :mod:`repro.net.simulator` delivers messages
+immediately, so channels exist to (a) make the FIFO assumption an
+*enforced invariant* rather than an accident of the driver, and (b) let
+fault-injection tests violate it deliberately and observe that the
+protocol layer detects the violation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from ..common.errors import ProtocolViolationError
+from .messages import Message
+
+__all__ = ["FifoChannel"]
+
+
+class FifoChannel:
+    """An order-preserving message queue with sequence-number checking."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._queue: Deque[Tuple[int, Message]] = deque()
+        self._next_send_seq = 0
+        self._next_recv_seq = 0
+
+    def send(self, message: Message) -> None:
+        """Enqueue a message; stamps it with the next sequence number."""
+        self._queue.append((self._next_send_seq, message))
+        self._next_send_seq += 1
+
+    def receive(self) -> Optional[Message]:
+        """Dequeue the next message, enforcing FIFO order.
+
+        Returns ``None`` when the channel is empty.
+        """
+        if not self._queue:
+            return None
+        seq, message = self._queue.popleft()
+        if seq != self._next_recv_seq:
+            raise ProtocolViolationError(
+                f"channel {self.name}: message {seq} delivered, "
+                f"expected {self._next_recv_seq} (FIFO violated)"
+            )
+        self._next_recv_seq += 1
+        return message
+
+    def drain(self):
+        """Yield all queued messages in FIFO order."""
+        while self._queue:
+            msg = self.receive()
+            if msg is None:  # pragma: no cover - loop guard
+                break
+            yield msg
+
+    def reorder_for_test(self) -> None:
+        """Swap the two front messages (fault injection for tests)."""
+        if len(self._queue) >= 2:
+            first = self._queue.popleft()
+            second = self._queue.popleft()
+            self._queue.appendleft(first)
+            self._queue.appendleft(second)
+
+    def __len__(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,82 @@
+"""Message accounting — the experiment's primary measurement.
+
+Every experiment in DESIGN.md reports message counts; this module keeps
+them honestly.  A broadcast from the coordinator to ``k`` sites costs
+``k`` messages (the paper charges broadcasts the same way, e.g. "this
+announcement requires k messages", Section 3).  Word counts are tracked
+alongside so Proposition 7's O(1)-words-per-message claim is auditable.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict
+
+from ..common.words import words_for_payload
+from .messages import Message
+
+__all__ = ["MessageCounters"]
+
+
+class MessageCounters:
+    """Tallies of messages by kind and direction.
+
+    Attributes
+    ----------
+    upstream:
+        Total site -> coordinator messages.
+    downstream:
+        Total coordinator -> site messages (a broadcast to ``k`` sites
+        adds ``k``).
+    by_kind:
+        Per-kind message counts.
+    words:
+        Total machine words carried by all counted messages.
+    """
+
+    def __init__(self) -> None:
+        self.upstream = 0
+        self.downstream = 0
+        self.by_kind: Counter = Counter()
+        self.words = 0
+        self.max_message_words = 0
+
+    def record_upstream(self, message: Message) -> None:
+        """Count one site -> coordinator message."""
+        self.upstream += 1
+        self.by_kind[message.kind] += 1
+        w = words_for_payload(message.payload) + 1  # +1 for the kind tag
+        self.words += w
+        if w > self.max_message_words:
+            self.max_message_words = w
+
+    def record_downstream(self, message: Message, copies: int = 1) -> None:
+        """Count a coordinator -> site message (``copies`` recipients)."""
+        self.downstream += copies
+        self.by_kind[message.kind] += copies
+        w = (words_for_payload(message.payload) + 1) * copies
+        self.words += w
+        per = words_for_payload(message.payload) + 1
+        if per > self.max_message_words:
+            self.max_message_words = per
+
+    @property
+    def total(self) -> int:
+        """Total messages in both directions — the paper's metric."""
+        return self.upstream + self.downstream
+
+    def snapshot(self) -> Dict[str, int]:
+        """A plain-dict summary for experiment tables."""
+        out = {
+            "total": self.total,
+            "upstream": self.upstream,
+            "downstream": self.downstream,
+            "words": self.words,
+            "max_message_words": self.max_message_words,
+        }
+        for kind, count in sorted(self.by_kind.items()):
+            out[f"kind:{kind}"] = count
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MessageCounters(total={self.total}, by_kind={dict(self.by_kind)})"

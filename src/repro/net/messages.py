@@ -1,0 +1,83 @@
+"""Typed messages exchanged between sites and the coordinator.
+
+The paper's cost model counts *messages*, each a constant number of
+machine words (Section 2.1, Proposition 7).  We model a message as a
+kind tag plus a small payload tuple; the word accounting in
+:mod:`repro.common.words` verifies payloads stay O(1) words.
+
+Message kinds mirror the paper's vocabulary:
+
+* ``EARLY`` — site forwards a withheld item to a level set
+  (Algorithm 1 line 8);
+* ``REGULAR`` — site forwards an item whose key beat the epoch
+  threshold (Algorithm 1 line 13);
+* ``LEVEL_SATURATED`` — coordinator broadcast when a level set fills
+  (Algorithm 2 line 17);
+* ``EPOCH_UPDATE`` — coordinator broadcast of the new threshold
+  (Algorithm 3 line 8);
+* the remaining kinds serve the SWR reduction and the application-layer
+  trackers (rounds, counter reports, estimate refreshes).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = [
+    "Message",
+    "EARLY",
+    "REGULAR",
+    "LEVEL_SATURATED",
+    "EPOCH_UPDATE",
+    "ROUND_UPDATE",
+    "SWR_SAMPLE",
+    "COUNT_REPORT",
+    "ESTIMATE_BROADCAST",
+    "RAW_ITEM",
+    "UPSTREAM_KINDS",
+    "DOWNSTREAM_KINDS",
+]
+
+EARLY = "early"
+REGULAR = "regular"
+LEVEL_SATURATED = "level_saturated"
+EPOCH_UPDATE = "epoch_update"
+ROUND_UPDATE = "round_update"
+SWR_SAMPLE = "swr_sample"
+COUNT_REPORT = "count_report"
+ESTIMATE_BROADCAST = "estimate_broadcast"
+RAW_ITEM = "raw_item"
+
+#: Kinds that travel site -> coordinator.
+UPSTREAM_KINDS = frozenset({EARLY, REGULAR, SWR_SAMPLE, COUNT_REPORT, RAW_ITEM})
+#: Kinds that travel coordinator -> site(s).
+DOWNSTREAM_KINDS = frozenset(
+    {LEVEL_SATURATED, EPOCH_UPDATE, ROUND_UPDATE, ESTIMATE_BROADCAST}
+)
+
+
+class Message:
+    """One network message: a kind tag and a small payload tuple.
+
+    Deliberately minimal (``__slots__``) — protocol hot paths construct
+    many of these.
+    """
+
+    __slots__ = ("kind", "payload")
+
+    def __init__(self, kind: str, payload: Tuple = ()) -> None:
+        self.kind = kind
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Message({self.kind!r}, {self.payload!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Message)
+            and other.kind == self.kind
+            and other.payload == self.payload
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.payload))

@@ -1,0 +1,72 @@
+"""Stream substrate: weighted items, workloads, and site assignments."""
+
+from .item import DistributedStream, Item, total_weight, validate_weights
+from .generators import (
+    epoch_unit_stream,
+    epoch_weight_stream,
+    geometric_growth_stream,
+    pareto_stream,
+    planted_heavy_hitter_stream,
+    shuffle_stream,
+    two_phase_residual_stream,
+    uniform_stream,
+    unit_stream,
+    zipf_stream,
+)
+from .partitioners import (
+    PARTITIONERS,
+    contiguous_blocks,
+    heavy_to_one_site,
+    round_robin,
+    single_site,
+    uniform_random,
+)
+from .datasets import (
+    FlowRecord,
+    QueryRecord,
+    flows_to_stream,
+    network_flow_trace,
+    queries_to_stream,
+    search_query_log,
+)
+from .adversary import (
+    ADVERSARIAL_ORDERINGS,
+    bursty_interleave,
+    heaviest_first,
+    heaviest_last,
+    sandwich,
+)
+
+__all__ = [
+    "Item",
+    "DistributedStream",
+    "total_weight",
+    "validate_weights",
+    "unit_stream",
+    "uniform_stream",
+    "zipf_stream",
+    "pareto_stream",
+    "planted_heavy_hitter_stream",
+    "geometric_growth_stream",
+    "epoch_weight_stream",
+    "epoch_unit_stream",
+    "two_phase_residual_stream",
+    "shuffle_stream",
+    "round_robin",
+    "uniform_random",
+    "contiguous_blocks",
+    "heavy_to_one_site",
+    "single_site",
+    "PARTITIONERS",
+    "QueryRecord",
+    "FlowRecord",
+    "search_query_log",
+    "network_flow_trace",
+    "queries_to_stream",
+    "flows_to_stream",
+    "heaviest_first",
+    "heaviest_last",
+    "sandwich",
+    "bursty_interleave",
+    "ADVERSARIAL_ORDERINGS",
+]

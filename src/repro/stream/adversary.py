@@ -1,0 +1,93 @@
+"""Adversarial arrival orderings.
+
+The model (Section 2.1) makes no assumption about arrival order: the
+adversary fixes both the interleaving across sites *and* the global
+order.  The partitioners in :mod:`repro.stream.partitioners` cover the
+site dimension; this module covers the temporal one with orderings that
+historically break samplers:
+
+* giants first — the threshold saturates immediately, starving later
+  light items of representation if the sampler is biased;
+* giants last — level sets for high weights fill only at the end;
+* sandwich — half the giants early, half late;
+* bursty — all of one site's items arrive before the next site's
+  (maximal site-view desynchronization when combined with round-robin).
+
+All are deterministic given the input, so statistical tests can run the
+same ordering across many protocol seeds.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from ..common.errors import ConfigurationError
+from .item import Item
+
+__all__ = [
+    "heaviest_first",
+    "heaviest_last",
+    "sandwich",
+    "bursty_interleave",
+    "ADVERSARIAL_ORDERINGS",
+]
+
+
+def heaviest_first(items: Sequence[Item]) -> List[Item]:
+    """Sort by decreasing weight (ties by identifier)."""
+    return sorted(items, key=lambda it: (-it.weight, it.ident))
+
+
+def heaviest_last(items: Sequence[Item]) -> List[Item]:
+    """Sort by increasing weight (ties by identifier)."""
+    return sorted(items, key=lambda it: (it.weight, it.ident))
+
+
+def sandwich(items: Sequence[Item]) -> List[Item]:
+    """Heaviest items split between the very start and the very end.
+
+    The odd-ranked giants open the stream, the even-ranked giants close
+    it, and everything else sits in the middle in weight order.
+    """
+    ranked = heaviest_first(items)
+    giants = ranked[: max(1, len(ranked) // 10)]
+    middle = ranked[len(giants):]
+    front = giants[0::2]
+    back = giants[1::2]
+    return front + middle + back
+
+
+def bursty_interleave(items: Sequence[Item], burst: int, rng: random.Random) -> List[Item]:
+    """Shuffle, then emit in contiguous bursts of ``burst`` items drawn
+    from alternating halves — a crude model of traffic waves."""
+    if burst <= 0:
+        raise ConfigurationError(f"burst must be positive, got {burst}")
+    pool = list(items)
+    rng.shuffle(pool)
+    half = len(pool) // 2
+    first, second = pool[:half], pool[half:]
+    out: List[Item] = []
+    i = j = 0
+    take_first = True
+    while i < len(first) or j < len(second):
+        if take_first and i < len(first):
+            out.extend(first[i : i + burst])
+            i += burst
+        elif j < len(second):
+            out.extend(second[j : j + burst])
+            j += burst
+        else:
+            out.extend(first[i : i + burst])
+            i += burst
+        take_first = not take_first
+    return out
+
+
+#: Named deterministic orderings with a uniform ``(items, rng)`` signature.
+ADVERSARIAL_ORDERINGS = {
+    "heaviest_first": lambda items, rng: heaviest_first(items),
+    "heaviest_last": lambda items, rng: heaviest_last(items),
+    "sandwich": lambda items, rng: sandwich(items),
+    "bursty": lambda items, rng: bursty_interleave(items, 64, rng),
+}

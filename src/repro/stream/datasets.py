@@ -1,0 +1,110 @@
+"""Synthetic domain datasets for the example applications.
+
+The paper motivates distributed sampling with two applications
+(Section 1): a search engine sampling queries across servers, and
+network monitoring devices sampling flow records.  Real traces of
+either kind are proprietary; these builders synthesize streams with the
+same documented statistical shape (Zipfian query popularity, Pareto
+flow sizes) so the examples exercise identical code paths.  The
+substitution is recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, NamedTuple
+
+from ..common.errors import ConfigurationError
+from .item import Item
+
+__all__ = ["QueryRecord", "FlowRecord", "search_query_log", "network_flow_trace"]
+
+
+class QueryRecord(NamedTuple):
+    """A search query observed at one frontend server."""
+
+    query_id: int
+    server: int
+    cost: float  # processing cost, used as the sampling weight
+
+
+class FlowRecord(NamedTuple):
+    """A network flow observed at one monitoring device."""
+
+    flow_id: int
+    device: int
+    bytes: float  # flow size in bytes, used as the sampling weight
+
+
+def search_query_log(
+    num_queries: int,
+    num_servers: int,
+    rng: random.Random,
+    vocabulary: int = 5000,
+    zipf_alpha: float = 1.2,
+) -> List[QueryRecord]:
+    """Synthesize a query log with Zipfian query popularity.
+
+    Query ids are drawn from a Zipf(``zipf_alpha``) popularity law over
+    a ``vocabulary``; each query carries a processing cost of at least 1
+    (heavier for rarer, longer-tail queries, as is typical).
+    """
+    if num_queries <= 0 or num_servers <= 0:
+        raise ConfigurationError("num_queries and num_servers must be positive")
+    # Precompute Zipf CDF over the vocabulary.
+    ranks = [1.0 / (i + 1) ** zipf_alpha for i in range(vocabulary)]
+    total = sum(ranks)
+    cdf = []
+    acc = 0.0
+    for r in ranks:
+        acc += r / total
+        cdf.append(acc)
+    records = []
+    for _ in range(num_queries):
+        u = rng.random()
+        lo, hi = 0, vocabulary - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        qid = lo
+        cost = 1.0 + rng.expovariate(1.0) * (1.0 + qid / vocabulary * 4.0)
+        records.append(QueryRecord(qid, rng.randrange(num_servers), cost))
+    return records
+
+
+def network_flow_trace(
+    num_flows: int,
+    num_devices: int,
+    rng: random.Random,
+    pareto_shape: float = 1.2,
+    mean_packet: float = 800.0,
+) -> List[FlowRecord]:
+    """Synthesize a flow trace with Pareto-distributed flow sizes.
+
+    Flow sizes follow the heavy-tailed ("elephants and mice") law
+    observed in real traffic; a few elephant flows carry most bytes —
+    exactly the regime where residual heavy hitters are informative.
+    """
+    if num_flows <= 0 or num_devices <= 0:
+        raise ConfigurationError("num_flows and num_devices must be positive")
+    records = []
+    for fid in range(num_flows):
+        u = rng.random()
+        while u <= 0.0:
+            u = rng.random()
+        size = mean_packet * u ** (-1.0 / pareto_shape)
+        records.append(FlowRecord(fid, rng.randrange(num_devices), max(1.0, size)))
+    return records
+
+
+def queries_to_stream(records: List[QueryRecord]) -> List[Item]:
+    """Convert query records to weighted items (weight = cost)."""
+    return [Item(r.query_id, r.cost) for r in records]
+
+
+def flows_to_stream(records: List[FlowRecord]) -> List[Item]:
+    """Convert flow records to weighted items (weight = bytes)."""
+    return [Item(r.flow_id, r.bytes) for r in records]

@@ -1,0 +1,269 @@
+"""Workload generators for every experiment in DESIGN.md.
+
+Each generator returns a list of :class:`~repro.stream.item.Item` in
+global arrival order.  The weights cover the regimes the paper argues
+about:
+
+* *flat* streams (uniform / unit weights) — the unweighted special case
+  whose lower bound (Theorem 2 via [31]) transfers to weighted SWOR;
+* *skewed* streams (Zipf / Pareto) — the motivating regime where a few
+  heavy items dominate and sampling **with** replacement degenerates
+  (Section 1);
+* *planted-heavy-hitter* streams — stress the level-set machinery
+  (Lemma 1): a handful of items carry almost all the weight;
+* *adversarial lower-bound* streams — the exact constructions inside
+  the proofs of Theorem 5 (geometric ``(1+eps)^i`` growth) and
+  Theorems 5/7 (per-epoch ``k^i`` weights), used to measure that real
+  protocols pay the Omega() cost.
+
+All generators take an explicit :class:`random.Random` so experiments
+are reproducible; weights respect the paper's ``w >= 1`` normalization.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence
+
+from ..common.errors import ConfigurationError
+from .item import Item
+
+__all__ = [
+    "unit_stream",
+    "uniform_stream",
+    "zipf_stream",
+    "pareto_stream",
+    "planted_heavy_hitter_stream",
+    "geometric_growth_stream",
+    "epoch_weight_stream",
+    "epoch_unit_stream",
+    "two_phase_residual_stream",
+    "shuffle_stream",
+]
+
+
+def _check_n(n: int) -> None:
+    if n <= 0:
+        raise ConfigurationError(f"stream length must be positive, got {n}")
+
+
+def unit_stream(n: int, start_ident: int = 0) -> List[Item]:
+    """``n`` items of weight 1 — the unweighted special case."""
+    _check_n(n)
+    return [Item(start_ident + i, 1.0) for i in range(n)]
+
+
+def uniform_stream(
+    n: int, rng: random.Random, low: float = 1.0, high: float = 100.0
+) -> List[Item]:
+    """Weights drawn uniformly from ``[low, high]``."""
+    _check_n(n)
+    if not 1.0 <= low <= high:
+        raise ConfigurationError(f"need 1 <= low <= high, got [{low}, {high}]")
+    return [Item(i, rng.uniform(low, high)) for i in range(n)]
+
+
+def zipf_stream(
+    n: int,
+    rng: random.Random,
+    alpha: float = 1.1,
+    universe: Optional[int] = None,
+    max_weight: float = 1e6,
+) -> List[Item]:
+    """Weights i.i.d. from a bounded Zipf-like power law.
+
+    Each weight is ``min(max_weight, U^{-1/alpha})`` for uniform ``U`` —
+    a Pareto tail with index ``alpha`` (``P(W > x) = x^-alpha``), the
+    classic model for query/flow popularity.  ``universe`` (if given)
+    draws identifiers with repetition from ``[0, universe)`` so the same
+    identifier can recur with different weights, as the problem
+    definition allows.
+    """
+    _check_n(n)
+    if alpha <= 1.0:
+        raise ConfigurationError(f"alpha must exceed 1, got {alpha}")
+    items = []
+    exponent = -1.0 / alpha
+    for i in range(n):
+        u = rng.random()
+        while u <= 0.0:
+            u = rng.random()
+        w = min(max_weight, u**exponent)
+        ident = i if universe is None else rng.randrange(universe)
+        items.append(Item(ident, max(1.0, w)))
+    return items
+
+
+def pareto_stream(
+    n: int, rng: random.Random, shape: float = 1.5, scale: float = 1.0
+) -> List[Item]:
+    """Weights i.i.d. Pareto(shape) scaled so the minimum weight is >= 1.
+
+    Heavy-tailed flow-size model (shape < 2 gives infinite variance —
+    the regime where residual heavy hitters matter most).
+    """
+    _check_n(n)
+    if shape <= 0:
+        raise ConfigurationError(f"shape must be positive, got {shape}")
+    items = []
+    for i in range(n):
+        u = rng.random()
+        while u <= 0.0:
+            u = rng.random()
+        w = scale * u ** (-1.0 / shape)
+        items.append(Item(i, max(1.0, w)))
+    return items
+
+
+def planted_heavy_hitter_stream(
+    n: int,
+    rng: random.Random,
+    num_heavy: int,
+    dominance: float = 0.99,
+    base_low: float = 1.0,
+    base_high: float = 10.0,
+) -> List[Item]:
+    """A background stream plus ``num_heavy`` giants carrying
+    ``dominance`` fraction of the total weight.
+
+    This is the Section 1.2 hard case for the duplication reduction:
+    with-replacement samples see only the giants, and a naive SWOR
+    protocol without level sets thrashes.  Giants are interleaved at
+    random positions.
+    """
+    _check_n(n)
+    if not 0 < dominance < 1:
+        raise ConfigurationError(f"dominance must be in (0,1), got {dominance}")
+    if not 0 < num_heavy < n:
+        raise ConfigurationError(
+            f"num_heavy must be in (0, n), got {num_heavy} with n={n}"
+        )
+    background = [
+        Item(i, rng.uniform(base_low, base_high)) for i in range(n - num_heavy)
+    ]
+    light_total = sum(it.weight for it in background)
+    heavy_total = light_total * dominance / (1.0 - dominance)
+    heavy_each = max(1.0, heavy_total / num_heavy)
+    giants = [Item(n - num_heavy + j, heavy_each) for j in range(num_heavy)]
+    items = background + giants
+    rng.shuffle(items)
+    return items
+
+
+def geometric_growth_stream(eps: float, total_weight: float) -> List[Item]:
+    """The Theorem 5/7 construction: ``w_0 = 1``, ``w_i = eps*(1+eps)^i``.
+
+    Every update is an ``eps/(1+eps) > eps/2`` heavy hitter of the
+    prefix when it arrives, so any correct (eps/2)-tracker must change
+    its answer Omega(log(W)/eps) times.  The stream stops once the total
+    weight reaches ``total_weight``.
+    """
+    if not 0 < eps < 1:
+        raise ConfigurationError(f"eps must be in (0,1), got {eps}")
+    if total_weight <= 1:
+        raise ConfigurationError("total_weight must exceed 1")
+    items = [Item(0, 1.0)]
+    acc = 1.0
+    i = 1
+    while acc < total_weight:
+        w = max(1.0, eps * (1.0 + eps) ** i)
+        items.append(Item(i, w))
+        acc += w
+        i += 1
+    return items
+
+
+def epoch_weight_stream(k: int, num_epochs: int) -> List[Item]:
+    """Theorem 5's second construction: in epoch ``i`` each of the ``k``
+    sites receives one item of weight ``k^i``.
+
+    The first arrival of an epoch is instantly a 1/2 heavy hitter, and
+    no site can tell whether it was first — forcing Omega(k) messages
+    per epoch, i.e. Omega(k log(W)/log(k)) overall.  Items are returned
+    in epoch order; pair with ``round_robin`` partitioning so each site
+    gets exactly one item per epoch.
+    """
+    if k < 2:
+        raise ConfigurationError(f"construction needs k >= 2 sites, got {k}")
+    if num_epochs <= 0:
+        raise ConfigurationError(f"num_epochs must be positive, got {num_epochs}")
+    items = []
+    ident = 0
+    for epoch in range(num_epochs):
+        w = float(k**epoch)
+        for _ in range(k):
+            items.append(Item(ident, w))
+            ident += 1
+    return items
+
+
+def epoch_unit_stream(k: int, num_epochs: int, cap: int = 2_000_000) -> List[Item]:
+    """Theorem 7's construction: epoch ``i`` ends after ``k^i`` total
+    unit-weight updates.
+
+    ``cap`` bounds the materialized length (the construction is
+    exponential in ``num_epochs``); generation stops early at the cap.
+    """
+    if k < 2:
+        raise ConfigurationError(f"construction needs k >= 2 sites, got {k}")
+    if num_epochs <= 0:
+        raise ConfigurationError(f"num_epochs must be positive, got {num_epochs}")
+    n = min(cap, k ** (num_epochs - 1) if num_epochs > 1 else 1)
+    n = max(n, 1)
+    return unit_stream(int(n))
+
+
+def two_phase_residual_stream(
+    n: int,
+    rng: random.Random,
+    num_giants: int,
+    giant_weight: float,
+    residual_heavy: int,
+    residual_fraction: float,
+) -> List[Item]:
+    """A stream built to separate residual-HH from plain l1-HH tracking.
+
+    ``num_giants`` items of ``giant_weight`` dwarf everything; beneath
+    them, ``residual_heavy`` items each carry ``residual_fraction`` of
+    the *residual* (giant-free) weight; the rest is light background.
+    A plain eps-l1-HH guarantee only promises the giants; the residual
+    guarantee (Definition 6) additionally promises the middle tier.
+
+    Returns the shuffled stream; giants get the highest identifiers
+    ``n-num_giants .. n-1`` and residual-heavy items the ids just below,
+    so tests can identify tiers by id.
+    """
+    _check_n(n)
+    base_n = n - num_giants - residual_heavy
+    if base_n <= 0:
+        raise ConfigurationError("n too small for the requested tiers")
+    if not 0 < residual_fraction < 1:
+        raise ConfigurationError(
+            f"residual_fraction must be in (0,1), got {residual_fraction}"
+        )
+    background = [Item(i, rng.uniform(1.0, 5.0)) for i in range(base_n)]
+    light_total = sum(it.weight for it in background)
+    # Residual-heavy tier: each item is residual_fraction of the final
+    # residual weight (background + residual tier).
+    denom = 1.0 - residual_heavy * residual_fraction
+    if denom <= 0:
+        raise ConfigurationError(
+            "residual_heavy * residual_fraction must be < 1 for a valid tier"
+        )
+    residual_total = light_total / denom
+    mid_weight = max(1.0, residual_fraction * residual_total)
+    middle = [Item(base_n + j, mid_weight) for j in range(residual_heavy)]
+    giants = [
+        Item(base_n + residual_heavy + j, giant_weight) for j in range(num_giants)
+    ]
+    items = background + middle + giants
+    rng.shuffle(items)
+    return items
+
+
+def shuffle_stream(items: Sequence[Item], rng: random.Random) -> List[Item]:
+    """Return a shuffled copy (arrival order is adversarial in the model)."""
+    out = list(items)
+    rng.shuffle(out)
+    return out

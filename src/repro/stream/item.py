@@ -1,0 +1,130 @@
+"""Weighted stream items and ordered distributed streams.
+
+The paper's input is a global sequence ``o_1, o_2, ...`` of weighted
+items ``(e, w)`` — globally ordered by arrival time — partitioned
+adversarially across ``k`` sites (Section 2.1).  :class:`Item` is one
+update; :class:`DistributedStream` is the global order together with the
+site assignment, which is exactly what the simulator replays.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, List, NamedTuple, Sequence, Tuple
+
+from ..common.errors import ConfigurationError, InvalidWeightError
+
+__all__ = ["Item", "DistributedStream", "total_weight", "validate_weights"]
+
+
+class Item(NamedTuple):
+    """One weighted stream update ``(e, w)``.
+
+    Attributes
+    ----------
+    ident:
+        The item identifier ``e``.  Identifiers may repeat across the
+        stream; each occurrence is sampled as a distinct item
+        (Section 1, problem definition).
+    weight:
+        The positive weight ``w``.  The paper normalizes to ``w >= 1``;
+        generators in this package honor that.
+    """
+
+    ident: int
+    weight: float
+
+
+def validate_weights(items: Iterable[Item], require_at_least_one: bool = True) -> None:
+    """Raise :class:`InvalidWeightError` on non-positive/non-finite weights.
+
+    ``require_at_least_one`` additionally enforces the paper's ``w >= 1``
+    normalization (Section 2.1).
+    """
+    for item in items:
+        w = item.weight
+        if not math.isfinite(w) or w <= 0.0:
+            raise InvalidWeightError(f"item {item.ident} has invalid weight {w}")
+        if require_at_least_one and w < 1.0:
+            raise InvalidWeightError(
+                f"item {item.ident} has weight {w} < 1; the model assumes "
+                "weights are normalized to be at least 1"
+            )
+
+
+def total_weight(items: Iterable[Item]) -> float:
+    """Sum of weights — the paper's ``W``."""
+    return sum(item.weight for item in items)
+
+
+class DistributedStream:
+    """A globally-ordered stream with a per-item site assignment.
+
+    Parameters
+    ----------
+    items:
+        Items in global arrival order.
+    assignment:
+        ``assignment[j]`` is the site (``0..k-1``) receiving item ``j``.
+    num_sites:
+        The number of sites ``k``.
+    """
+
+    def __init__(
+        self,
+        items: Sequence[Item],
+        assignment: Sequence[int],
+        num_sites: int,
+    ) -> None:
+        if len(items) != len(assignment):
+            raise ConfigurationError(
+                f"{len(items)} items but {len(assignment)} assignments"
+            )
+        if num_sites <= 0:
+            raise ConfigurationError(f"num_sites must be positive, got {num_sites}")
+        for site in assignment:
+            if not 0 <= site < num_sites:
+                raise ConfigurationError(
+                    f"site index {site} out of range for k={num_sites}"
+                )
+        self._items: List[Item] = list(items)
+        self._assignment: List[int] = list(assignment)
+        self.num_sites = num_sites
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Tuple[int, Item]]:
+        """Yield ``(site, item)`` pairs in global arrival order."""
+        return iter(zip(self._assignment, self._items))
+
+    @property
+    def items(self) -> List[Item]:
+        """The items in global arrival order (copy-safe view)."""
+        return self._items
+
+    @property
+    def assignment(self) -> List[int]:
+        """Per-item site indices, aligned with :attr:`items`."""
+        return self._assignment
+
+    def total_weight(self) -> float:
+        """The stream's total weight ``W``."""
+        return total_weight(self._items)
+
+    def prefix_weights(self) -> List[float]:
+        """``W_t`` for every prefix ``t`` (1-indexed semantics: entry j
+        is the weight of the first ``j+1`` items)."""
+        acc = 0.0
+        out = []
+        for item in self._items:
+            acc += item.weight
+            out.append(acc)
+        return out
+
+    def local_streams(self) -> List[List[Item]]:
+        """Items per site, each in arrival order (the ``S_i`` views)."""
+        per_site: List[List[Item]] = [[] for _ in range(self.num_sites)]
+        for site, item in self:
+            per_site[site].append(item)
+        return per_site

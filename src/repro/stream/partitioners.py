@@ -1,0 +1,92 @@
+"""Site-assignment strategies (the adversary of Section 2.1).
+
+The model lets an adversary decide which site observes each item.  A
+correct protocol must work for every assignment, so tests and benchmarks
+sweep several: round-robin (the lower-bound constructions), uniform
+random, contiguous blocks (one site sees a long prefix), weight-sorted
+(all heavy items at one site), and single-site (degenerates to the
+centralized problem).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from ..common.errors import ConfigurationError
+from .item import DistributedStream, Item
+
+__all__ = [
+    "round_robin",
+    "uniform_random",
+    "contiguous_blocks",
+    "heavy_to_one_site",
+    "single_site",
+    "PARTITIONERS",
+]
+
+
+def _check_k(k: int) -> None:
+    if k <= 0:
+        raise ConfigurationError(f"number of sites must be positive, got {k}")
+
+
+def round_robin(items: Sequence[Item], k: int) -> DistributedStream:
+    """Item ``j`` goes to site ``j mod k`` (lower-bound constructions)."""
+    _check_k(k)
+    return DistributedStream(items, [j % k for j in range(len(items))], k)
+
+
+def uniform_random(
+    items: Sequence[Item], k: int, rng: random.Random
+) -> DistributedStream:
+    """Each item is assigned to an independently uniform site."""
+    _check_k(k)
+    return DistributedStream(items, [rng.randrange(k) for _ in items], k)
+
+
+def contiguous_blocks(items: Sequence[Item], k: int) -> DistributedStream:
+    """The stream is cut into ``k`` contiguous blocks, one per site.
+
+    Site 0 sees the whole prefix before site 1 sees anything — the
+    assignment that maximally desynchronizes local views.
+    """
+    _check_k(k)
+    n = len(items)
+    block = max(1, (n + k - 1) // k)
+    return DistributedStream(items, [min(j // block, k - 1) for j in range(n)], k)
+
+
+def heavy_to_one_site(items: Sequence[Item], k: int) -> DistributedStream:
+    """All items above the median weight go to site 0, the rest spread
+    round-robin over the other sites (or site 0 too when k == 1).
+
+    Stresses the case where one site alone observes every heavy hitter.
+    """
+    _check_k(k)
+    weights = sorted(item.weight for item in items)
+    median = weights[len(weights) // 2]
+    assignment = []
+    light_counter = 0
+    for item in items:
+        if item.weight > median or k == 1:
+            assignment.append(0)
+        else:
+            assignment.append(1 + light_counter % (k - 1))
+            light_counter += 1
+    return DistributedStream(items, assignment, k)
+
+
+def single_site(items: Sequence[Item]) -> DistributedStream:
+    """Everything at one site — the centralized special case."""
+    return DistributedStream(items, [0] * len(items), 1)
+
+
+#: Named partitioners with a uniform ``(items, k, rng)`` call signature,
+#: for sweeping in tests and benchmarks.
+PARTITIONERS = {
+    "round_robin": lambda items, k, rng: round_robin(items, k),
+    "uniform_random": uniform_random,
+    "contiguous_blocks": lambda items, k, rng: contiguous_blocks(items, k),
+    "heavy_to_one_site": lambda items, k, rng: heavy_to_one_site(items, k),
+}

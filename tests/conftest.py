@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite.
+
+Statistical tests are seeded and use generous significance levels so the
+suite is deterministic in practice; any test that samples uses an
+explicit `random.Random` derived from these fixtures.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.stream import Item
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A fresh deterministic RNG per test."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def tiny_weighted_items() -> list:
+    """Five items with distinct weights; ids equal indices."""
+    return [Item(i, float(w)) for i, w in enumerate([1, 2, 4, 8, 16])]
+
+
+@pytest.fixture
+def skewed_items(rng) -> list:
+    """A 200-item stream where 2 giants dominate."""
+    items = [Item(i, rng.uniform(1.0, 3.0)) for i in range(198)]
+    items.append(Item(198, 5000.0))
+    items.append(Item(199, 8000.0))
+    rng.shuffle(items)
+    return items

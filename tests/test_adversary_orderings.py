@@ -1,0 +1,90 @@
+"""Tests for adversarial arrival orderings and protocol robustness to them."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.common import (
+    ConfigurationError,
+    chi_square_pvalue,
+    chi_square_statistic,
+    exact_swor_inclusion_probabilities,
+)
+from repro.core import DistributedWeightedSWOR, SworConfig
+from repro.stream import (
+    ADVERSARIAL_ORDERINGS,
+    Item,
+    bursty_interleave,
+    heaviest_first,
+    heaviest_last,
+    round_robin,
+    sandwich,
+    uniform_stream,
+)
+
+
+class TestOrderings:
+    def test_heaviest_first_sorted(self, rng):
+        items = uniform_stream(50, rng)
+        ordered = heaviest_first(items)
+        weights = [i.weight for i in ordered]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_heaviest_last_sorted(self, rng):
+        items = uniform_stream(50, rng)
+        ordered = heaviest_last(items)
+        weights = [i.weight for i in ordered]
+        assert weights == sorted(weights)
+
+    def test_sandwich_structure(self, rng):
+        items = uniform_stream(100, rng)
+        ordered = sandwich(items)
+        assert sorted(ordered) == sorted(items)
+        # Giants (top decile) sit at both ends.
+        giants = set(
+            it.ident for it in heaviest_first(items)[: len(items) // 10]
+        )
+        assert ordered[0].ident in giants
+        assert ordered[-1].ident in giants
+
+    def test_bursty_is_permutation(self, rng):
+        items = uniform_stream(101, rng)
+        ordered = bursty_interleave(items, 8, rng)
+        assert sorted(ordered) == sorted(items)
+
+    def test_bursty_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            bursty_interleave(uniform_stream(10, rng), 0, rng)
+
+    def test_registry_complete(self, rng):
+        items = uniform_stream(40, rng)
+        for name, fn in ADVERSARIAL_ORDERINGS.items():
+            out = fn(items, rng)
+            assert sorted(out) == sorted(items), name
+
+
+class TestProtocolUnderAdversarialOrder:
+    """The sampler's law must be order-invariant (Definition 3 holds
+    for any adversarial arrival order)."""
+
+    @pytest.mark.parametrize("ordering", ["heaviest_first", "heaviest_last", "sandwich"])
+    def test_sample_law_order_invariant(self, ordering):
+        weights = [1.0, 2.0, 4.0, 8.0, 16.0, 128.0]
+        base = [Item(i, w) for i, w in enumerate(weights)]
+        items = ADVERSARIAL_ORDERINGS[ordering](base, random.Random(0))
+        k, s, trials = 2, 2, 3000
+        counts = Counter()
+        for t in range(trials):
+            proto = DistributedWeightedSWOR(
+                SworConfig(num_sites=k, sample_size=s), seed=t
+            )
+            proto.run(round_robin(items, k))
+            for item in proto.sample():
+                counts[item.ident] += 1
+        exact = exact_swor_inclusion_probabilities(weights, s)
+        expected = {i: trials * p for i, p in enumerate(exact)}
+        stat, df = chi_square_statistic(counts, expected)
+        assert chi_square_pvalue(stat, df) > 1e-4, ordering

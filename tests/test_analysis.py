@@ -1,0 +1,155 @@
+"""Tests for repro.analysis: bounds, tables, experiment harness."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis import (
+    bounds,
+    format_table,
+    inclusion_frequencies,
+    messages_vs_sample_size,
+    messages_vs_sites,
+    messages_vs_weight,
+    render_rows,
+    run_swor_once,
+)
+from repro.common import ConfigurationError
+from repro.stream import Item, round_robin, zipf_stream
+
+
+class TestBounds:
+    def test_all_positive(self):
+        k, s, eps, delta, w = 16, 8, 0.1, 0.05, 1e9
+        values = [
+            bounds.swor_message_bound(k, s, w),
+            bounds.swor_lemma3_bound(k, s, w),
+            bounds.swor_lower_bound(k, s, w),
+            bounds.expected_epochs_bound(k, s, w),
+            bounds.swr_message_bound(k, s, w),
+            bounds.naive_per_site_top_s_bound(k, s, w),
+            bounds.hh_upper_bound(k, eps, delta, w),
+            bounds.hh_lower_bound(k, eps, w),
+            bounds.l1_upper_this_work(k, eps, delta, w),
+            bounds.l1_upper_cmyz_folklore(k, eps, w),
+            bounds.l1_upper_hyz(k, eps, delta, w),
+            bounds.l1_lower_hyz(k, eps, w),
+            bounds.l1_lower_this_work(k, w),
+        ]
+        assert all(v > 0 for v in values)
+
+    def test_swor_bound_monotone_in_weight(self):
+        a = bounds.swor_message_bound(8, 8, 1e6)
+        b = bounds.swor_message_bound(8, 8, 1e12)
+        assert b > a
+
+    def test_swor_bound_sublinear_in_k(self):
+        """Doubling k beyond s should much-less-than-double messages
+        per site: total grows by < 2x factor over 16x site change."""
+        small = bounds.swor_message_bound(32, 4, 1e9)
+        large = bounds.swor_message_bound(512, 4, 1e9)
+        assert large / small < 16 / 2  # strictly sublinear in k
+
+    def test_l1_crossover_at_k_eps2(self):
+        """For k >> 1/eps^2 our upper bound beats [23]'s; below, not
+        necessarily — the Section 5 discussion."""
+        eps, delta = 0.1, 0.1
+        w = 1e12
+        k_big = 10000  # >> 1/eps^2 = 100
+        ours = bounds.l1_upper_this_work(k_big, eps, delta, w)
+        hyz = bounds.l1_upper_hyz(k_big, eps, delta, w)
+        assert ours < hyz
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bounds.swor_message_bound(0, 1, 10)
+        with pytest.raises(ConfigurationError):
+            bounds.hh_upper_bound(1, 0.0, 0.1, 10)
+
+    def test_naive_bound_dominates_ours(self):
+        k, s, w = 64, 64, 1e9
+        assert bounds.naive_per_site_top_s_bound(
+            k, s, w
+        ) > bounds.swor_message_bound(k, s, w)
+
+    def test_advantage_factor_grows_with_s(self):
+        w = 1e9
+        small = bounds.swor_advantage_over_naive(64, 4, w)
+        large = bounds.swor_advantage_over_naive(64, 64, w)
+        assert large > small > 1.0
+
+    def test_l1_regime_boundary(self):
+        assert bounds.l1_regime_boundary(0.1) == pytest.approx(100.0)
+        with pytest.raises(ConfigurationError):
+            bounds.l1_regime_boundary(0.0)
+
+
+class TestTables:
+    def test_format_contains_all_cells(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 3, "b": 0.001}]
+        text = format_table(rows, title="T", caption="C")
+        assert "T" in text and "C" in text
+        assert "2.500" in text and "0.001" in text
+
+    def test_column_selection_and_order(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        cells = render_rows(rows, columns=["c", "a"])
+        assert cells[0] == ["c", "a"]
+        assert cells[1] == ["3", "1"]
+
+    def test_empty_rows(self):
+        assert "empty" in format_table([], title="x")
+
+    def test_large_numbers_compact(self):
+        text = format_table([{"w": 5.5e9}])
+        assert "5.5e+09" in text
+
+
+class TestExperimentHarness:
+    def test_run_swor_once_fields(self):
+        rng = random.Random(0)
+        stream = round_robin(zipf_stream(2000, rng), 4)
+        row = run_swor_once(stream, 8, seed=1)
+        assert row["k"] == 4 and row["s"] == 8
+        assert row["messages"] > 0
+        assert row["ratio"] == pytest.approx(row["messages"] / row["bound"])
+        assert row["messages"] == row["upstream"] + row["downstream"]
+
+    def test_messages_vs_weight_rows(self):
+        rows = messages_vs_weight(
+            lambda rng, n: zipf_stream(n, rng),
+            weight_steps=[500, 2000],
+            k=4,
+            s=8,
+            reps=2,
+        )
+        assert len(rows) == 2
+        assert rows[1]["W"] > rows[0]["W"]
+
+    def test_messages_vs_sites_rows(self):
+        rows = messages_vs_sites(
+            lambda rng, n: zipf_stream(n, rng),
+            n=2000,
+            site_steps=[2, 8],
+            s=4,
+            reps=1,
+        )
+        assert [row["k"] for row in rows] == [2, 8]
+
+    def test_messages_vs_sample_size_includes_naive(self):
+        rows = messages_vs_sample_size(
+            lambda rng, n: zipf_stream(n, rng),
+            n=2000,
+            k=4,
+            sample_steps=[4],
+            reps=1,
+            include_naive=True,
+        )
+        assert "naive_messages" in rows[0]
+
+    def test_inclusion_frequencies_sum(self):
+        items = [Item(i, float(1 + i)) for i in range(6)]
+        freqs = inclusion_frequencies(items, k=2, s=2, trials=200)
+        assert abs(sum(freqs.values()) - 2.0) < 0.2

@@ -1,0 +1,214 @@
+"""Unit + statistical tests for repro.centralized samplers."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.common import (
+    ConfigurationError,
+    InvalidWeightError,
+    chi_square_pvalue,
+    chi_square_statistic,
+    exact_swor_inclusion_probabilities,
+)
+from repro.centralized import (
+    PrioritySampler,
+    SkipWeightedReservoirSWOR,
+    UnweightedReservoir,
+    WeightedReservoirSWR,
+    WeightedReservoirSWOR,
+)
+from repro.stream import Item
+
+
+WEIGHTS = [1.0, 2.0, 4.0, 8.0, 3.0, 6.0]
+
+
+def _run_swor_trials(sampler_cls, s, trials, seed0):
+    counts = Counter()
+    for t in range(trials):
+        rng = random.Random(seed0 + t)
+        sampler = sampler_cls(s, rng)
+        for i, w in enumerate(WEIGHTS):
+            sampler.insert(Item(i, w))
+        for item in sampler.sample():
+            counts[item.ident] += 1
+    return counts
+
+
+class TestWeightedReservoirSWOR:
+    def test_sample_size_is_min_n_s(self, rng):
+        sampler = WeightedReservoirSWOR(10, rng)
+        for i in range(4):
+            sampler.insert(Item(i, 1.0 + i))
+        assert len(sampler) == 4
+        for i in range(4, 20):
+            sampler.insert(Item(i, 1.0))
+        assert len(sampler) == 10
+
+    def test_threshold_zero_until_full_then_monotone(self, rng):
+        sampler = WeightedReservoirSWOR(3, rng)
+        thresholds = []
+        for i in range(20):
+            sampler.insert(Item(i, 2.0))
+            thresholds.append(sampler.threshold)
+        assert thresholds[0] == 0.0 and thresholds[1] == 0.0
+        full_part = thresholds[2:]
+        assert all(b >= a for a, b in zip(full_part, full_part[1:]))
+
+    def test_sample_sorted_by_key(self, rng):
+        sampler = WeightedReservoirSWOR(5, rng)
+        for i in range(50):
+            sampler.insert(Item(i, 1.0 + i % 7))
+        keys = [k for _, k in sampler.sample_with_keys()]
+        assert keys == sorted(keys, reverse=True)
+
+    def test_invalid_weight_rejected(self, rng):
+        sampler = WeightedReservoirSWOR(2, rng)
+        with pytest.raises(InvalidWeightError):
+            sampler.insert(Item(0, 0.0))
+        with pytest.raises(InvalidWeightError):
+            sampler.insert(Item(0, float("nan")))
+
+    def test_invalid_sample_size_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            WeightedReservoirSWOR(0, rng)
+
+    def test_distribution_matches_exact_law(self):
+        """Chi-square of inclusion counts vs Definition 1 probabilities."""
+        s, trials = 2, 6000
+        counts = _run_swor_trials(WeightedReservoirSWOR, s, trials, 1000)
+        exact = exact_swor_inclusion_probabilities(WEIGHTS, s)
+        expected = {i: trials * p for i, p in enumerate(exact)}
+        stat, df = chi_square_statistic(counts, expected)
+        assert chi_square_pvalue(stat, df) > 1e-4
+
+    def test_offer_with_key_external(self, rng):
+        sampler = WeightedReservoirSWOR(2, rng)
+        sampler.offer_with_key(Item(0, 1.0), 10.0)
+        sampler.offer_with_key(Item(1, 1.0), 20.0)
+        assert sampler.offer_with_key(Item(2, 1.0), 5.0) is None
+        assert [i.ident for i in sampler.sample()] == [1, 0]
+
+
+class TestSkipWeightedReservoirSWOR:
+    def test_same_law_as_plain(self):
+        """A-ExpJ must match the plain sampler's inclusion law."""
+        s, trials = 2, 6000
+        counts = _run_swor_trials(SkipWeightedReservoirSWOR, s, trials, 5000)
+        exact = exact_swor_inclusion_probabilities(WEIGHTS, s)
+        expected = {i: trials * p for i, p in enumerate(exact)}
+        stat, df = chi_square_statistic(counts, expected)
+        assert chi_square_pvalue(stat, df) > 1e-4
+
+    def test_sample_size(self, rng):
+        sampler = SkipWeightedReservoirSWOR(4, rng)
+        for i in range(100):
+            sampler.insert(Item(i, 1.0 + (i % 5)))
+        assert len(sampler) == 4
+
+    def test_threshold_monotone(self, rng):
+        sampler = SkipWeightedReservoirSWOR(3, rng)
+        last = 0.0
+        for i in range(200):
+            sampler.insert(Item(i, 1.0))
+            assert sampler.threshold >= last
+            last = sampler.threshold
+
+    def test_invalid_weight_rejected(self, rng):
+        sampler = SkipWeightedReservoirSWOR(2, rng)
+        with pytest.raises(InvalidWeightError):
+            sampler.insert(Item(0, -3.0))
+
+
+class TestUnweightedReservoir:
+    def test_uniformity(self):
+        n, s, trials = 8, 3, 8000
+        counts = Counter()
+        for t in range(trials):
+            rng = random.Random(t)
+            res = UnweightedReservoir(s, rng)
+            for i in range(n):
+                res.insert(Item(i, 1.0))
+            for item in res.sample():
+                counts[item.ident] += 1
+        expected = {i: trials * s / n for i in range(n)}
+        stat, df = chi_square_statistic(counts, expected)
+        assert chi_square_pvalue(stat, df) > 1e-4
+
+    def test_prefix_smaller_than_s(self, rng):
+        res = UnweightedReservoir(5, rng)
+        res.insert(Item(0, 1.0))
+        assert len(res) == 1
+
+
+class TestWeightedReservoirSWR:
+    def test_each_slot_weighted(self):
+        weights = [1.0, 3.0, 6.0]
+        trials = 5000
+        counts = Counter()
+        s = 4
+        for t in range(trials):
+            rng = random.Random(t + 999)
+            swr = WeightedReservoirSWR(s, rng)
+            for i, w in enumerate(weights):
+                swr.insert(Item(i, w))
+            for item in swr.sample():
+                counts[item.ident] += 1
+        total = sum(weights)
+        expected = {i: trials * s * w / total for i, w in enumerate(weights)}
+        stat, df = chi_square_statistic(counts, expected)
+        assert chi_square_pvalue(stat, df) > 1e-4
+
+    def test_collapses_onto_giants(self):
+        """The motivating failure: with-replacement samples only giants."""
+        rng = random.Random(4)
+        swr = WeightedReservoirSWR(10, rng)
+        for i in range(100):
+            swr.insert(Item(i, 1.0))
+        swr.insert(Item(100, 1e9))
+        swr.insert(Item(101, 1e9))
+        idents = {item.ident for item in swr.sample()}
+        assert idents <= {100, 101}
+
+    def test_invalid_weight_rejected(self, rng):
+        with pytest.raises(InvalidWeightError):
+            WeightedReservoirSWR(2, rng).insert(Item(0, 0.0))
+
+
+class TestPrioritySampler:
+    def test_subset_sum_unbiased(self):
+        """Mean estimate over trials approaches the true subset sum."""
+        items = [Item(i, 1.0 + (i % 10)) for i in range(60)]
+        truth = sum(it.weight for it in items if it.ident % 2 == 0)
+        trials = 1500
+        total = 0.0
+        for t in range(trials):
+            rng = random.Random(t)
+            ps = PrioritySampler(12, rng)
+            for it in items:
+                ps.insert(it)
+            total += ps.subset_sum(lambda it: it.ident % 2 == 0)
+        mean = total / trials
+        assert abs(mean - truth) / truth < 0.08
+
+    def test_total_weight_estimate(self, rng):
+        items = [Item(i, 2.0) for i in range(40)]
+        ps = PrioritySampler(40, rng)
+        for it in items:
+            ps.insert(it)
+        # sample size >= n: estimate is exact.
+        assert ps.total_weight_estimate() == pytest.approx(80.0)
+
+    def test_len_capped(self, rng):
+        ps = PrioritySampler(5, rng)
+        for i in range(50):
+            ps.insert(Item(i, 1.0))
+        assert len(ps) == 5
+
+    def test_invalid_weight_rejected(self, rng):
+        with pytest.raises(InvalidWeightError):
+            PrioritySampler(2, rng).insert(Item(0, float("inf")))

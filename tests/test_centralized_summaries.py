@@ -1,0 +1,142 @@
+"""Tests for Misra-Gries / Space-Saving and the exact offline oracles."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.common import ConfigurationError, InvalidWeightError
+from repro.centralized import (
+    MisraGries,
+    SpaceSaving,
+    exact_heavy_hitters,
+    exact_residual_heavy_hitters,
+    identifier_totals,
+    prefix_l1,
+    residual_tail_weight,
+)
+from repro.stream import Item
+
+
+def _skewed(rng, n=500):
+    items = [Item(rng.randrange(40), rng.uniform(1, 3)) for _ in range(n)]
+    items += [Item(100, 500.0), Item(101, 400.0)]
+    rng.shuffle(items)
+    return items
+
+
+class TestMisraGries:
+    def test_undercount_bound(self, rng):
+        items = _skewed(rng)
+        mg = MisraGries(capacity=20)
+        for it in items:
+            mg.insert(it)
+        totals = identifier_totals(items)
+        bound = mg.weight_seen / (mg.capacity + 1)
+        for ident, true in totals.items():
+            est = mg.estimate(ident)
+            assert est <= true + 1e-9
+            assert est >= true - bound - 1e-9
+
+    def test_finds_all_eps_heavy(self, rng):
+        items = _skewed(rng)
+        eps = 0.2
+        mg = MisraGries(capacity=int(2 / eps))
+        for it in items:
+            mg.insert(it)
+        totals = identifier_totals(items)
+        total = sum(totals.values())
+        heavy = {i for i, w in totals.items() if w >= eps * total}
+        reported = {i for i, _ in mg.heavy_hitters(eps)}
+        assert heavy <= reported
+
+    def test_capacity_respected(self, rng):
+        mg = MisraGries(capacity=5)
+        for it in _skewed(rng):
+            mg.insert(it)
+        assert len(mg) <= 5
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            MisraGries(0)
+
+    def test_invalid_weight(self):
+        with pytest.raises(InvalidWeightError):
+            MisraGries(2).insert(Item(0, -1.0))
+
+
+class TestSpaceSaving:
+    def test_overcount_bound(self, rng):
+        items = _skewed(rng)
+        ss = SpaceSaving(capacity=20)
+        for it in items:
+            ss.insert(it)
+        totals = identifier_totals(items)
+        bound = ss.weight_seen / ss.capacity
+        for ident, est in [(i, ss.estimate(i)) for i in totals]:
+            if est > 0:
+                assert est <= totals[ident] + bound + 1e-9
+                assert est >= totals[ident] - 1e-9 or est > 0
+
+    def test_finds_all_eps_heavy(self, rng):
+        items = _skewed(rng)
+        eps = 0.2
+        ss = SpaceSaving(capacity=int(2 / eps))
+        for it in items:
+            ss.insert(it)
+        totals = identifier_totals(items)
+        total = sum(totals.values())
+        heavy = {i for i, w in totals.items() if w >= eps * total}
+        reported = {i for i, _ in ss.heavy_hitters(eps)}
+        assert heavy <= reported
+
+    def test_capacity_respected(self, rng):
+        ss = SpaceSaving(capacity=7)
+        for it in _skewed(rng):
+            ss.insert(it)
+        assert len(ss) <= 7
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            SpaceSaving(-1)
+
+
+class TestExactOracles:
+    def test_identifier_totals(self):
+        items = [Item(0, 1.0), Item(1, 2.0), Item(0, 3.0)]
+        assert identifier_totals(items) == {0: 4.0, 1: 2.0}
+
+    def test_residual_tail_weight(self):
+        items = [Item(i, w) for i, w in enumerate([10, 1, 2, 100, 3])]
+        # top-2 removes 100 and 10, leaving 1+2+3.
+        assert residual_tail_weight(items, 2) == pytest.approx(6.0)
+        assert residual_tail_weight(items, 0) == pytest.approx(116.0)
+        with pytest.raises(ConfigurationError):
+            residual_tail_weight(items, -1)
+
+    def test_exact_heavy_hitters(self):
+        items = [Item(i, w) for i, w in enumerate([50, 1, 1, 48])]
+        # eps=0.4: threshold 40.
+        assert exact_heavy_hitters(items, 0.4) == {0, 3}
+        with pytest.raises(ConfigurationError):
+            exact_heavy_hitters(items, 0.0)
+
+    def test_exact_residual_heavy_hitters(self):
+        # eps=0.5 -> remove top-2; residual = 1+2+3 = 6; threshold 3.
+        items = [Item(i, w) for i, w in enumerate([10, 1, 2, 100, 3])]
+        hitters, residual = exact_residual_heavy_hitters(items, 0.5)
+        assert residual == pytest.approx(6.0)
+        assert hitters == {0, 3, 4}  # giants always pass; 3 >= 3
+
+    def test_residual_stronger_than_l1(self, rng):
+        """Residual HH is a superset of plain l1 HH on skewed input."""
+        items = _skewed(rng)
+        eps = 0.1
+        l1 = exact_heavy_hitters(items, eps)
+        res, _ = exact_residual_heavy_hitters(items, eps)
+        assert l1 <= res
+
+    def test_prefix_l1(self):
+        items = [Item(0, 1.0), Item(1, 2.5)]
+        assert prefix_l1(items) == [1.0, 3.5]

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_swor_defaults(self):
+        args = build_parser().parse_args(["swor"])
+        assert args.sites == 16 and args.sample == 16 and args.seed == 0
+
+    def test_all_subcommands_parse(self):
+        parser = build_parser()
+        for cmd in ("swor", "swr", "hh", "l1", "bounds"):
+            args = parser.parse_args([cmd])
+            assert args.command == cmd
+
+
+class TestCommands:
+    def test_swor_output(self, capsys):
+        code = main(["swor", "--items", "3000", "--sites", "4", "--sample", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "weighted SWOR sample" in out
+        assert "messages=" in out and "ratio" in out
+
+    def test_swr_output(self, capsys):
+        code = main(["swr", "--items", "2000", "--sites", "4", "--sample", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "weighted SWR sample" in out
+        assert "slot" in out
+
+    def test_hh_output(self, capsys):
+        code = main(["hh", "--items", "5000", "--sites", "4", "--eps", "0.2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "residual heavy hitters" in out
+
+    def test_l1_output(self, capsys):
+        code = main(["l1", "--items", "4000", "--sites", "4", "--eps", "0.25"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "this work" in out
+        assert "deterministic [14]" in out
+        assert "hyz-style [23]" in out
+
+    def test_bounds_output(self, capsys):
+        code = main(["bounds", "--sites", "100", "--weight", "1e12"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for label in ("swor upper", "hh lower", "l1 lower this work"):
+            assert label in out
+
+    def test_seed_reproducibility(self, capsys):
+        main(["swor", "--items", "2000", "--seed", "7"])
+        first = capsys.readouterr().out
+        main(["swor", "--items", "2000", "--seed", "7"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_seed_changes_output(self, capsys):
+        main(["swor", "--items", "2000", "--seed", "7"])
+        first = capsys.readouterr().out
+        main(["swor", "--items", "2000", "--seed", "8"])
+        second = capsys.readouterr().out
+        assert first != second

@@ -1,0 +1,155 @@
+"""Unit tests for repro.common.order_stats (Proposition 1 machinery)."""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import Counter
+
+import pytest
+
+from repro.common import ConfigurationError
+from repro.common.order_stats import (
+    anti_ranks,
+    exact_swor_inclusion_probabilities,
+    exact_swor_ordered_probability,
+    harmonic_partial,
+    sample_kth_key_nagaraja,
+    sample_top_keys_direct,
+)
+
+
+class TestAntiRanks:
+    def test_sorted_descending(self):
+        keys = [3.0, 1.0, 5.0, 2.0]
+        assert anti_ranks(keys) == [2, 0, 3, 1]
+
+    def test_ties_break_by_index(self):
+        assert anti_ranks([1.0, 1.0, 2.0]) == [2, 0, 1]
+
+    def test_empty(self):
+        assert anti_ranks([]) == []
+
+
+class TestExactInclusion:
+    def test_probabilities_sum_to_sample_size(self):
+        for s in range(0, 5):
+            probs = exact_swor_inclusion_probabilities([1, 2, 3, 4], s)
+            assert math.isclose(sum(probs), min(s, 4), rel_tol=1e-9)
+
+    def test_single_draw_proportional_to_weight(self):
+        probs = exact_swor_inclusion_probabilities([1, 2, 3], 1)
+        assert probs == pytest.approx([1 / 6, 2 / 6, 3 / 6])
+
+    def test_full_sample_probability_one(self):
+        probs = exact_swor_inclusion_probabilities([5, 1, 9], 3)
+        assert probs == pytest.approx([1.0, 1.0, 1.0])
+
+    def test_monotone_in_weight(self):
+        probs = exact_swor_inclusion_probabilities([1, 2, 4, 8], 2)
+        assert probs == sorted(probs)
+
+    def test_matches_monte_carlo(self):
+        """Brute-force sequential sampling agrees with the recursion."""
+        weights = [1.0, 3.0, 6.0, 2.0]
+        s = 2
+        exact = exact_swor_inclusion_probabilities(weights, s)
+        rng = random.Random(11)
+        counts = Counter()
+        trials = 40000
+        for _ in range(trials):
+            remaining = list(range(len(weights)))
+            for _draw in range(s):
+                total = sum(weights[i] for i in remaining)
+                x = rng.random() * total
+                acc = 0.0
+                for idx, i in enumerate(remaining):
+                    acc += weights[i]
+                    if x < acc:
+                        counts[i] += 1
+                        remaining.pop(idx)
+                        break
+        for i, p in enumerate(exact):
+            assert abs(counts[i] / trials - p) < 0.01
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            exact_swor_inclusion_probabilities([1, 0], 1)
+
+    def test_negative_sample_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            exact_swor_inclusion_probabilities([1, 2], -1)
+
+
+class TestOrderedProbability:
+    def test_hand_computed(self):
+        # Draw order (1, 0) from weights (1, 3): 3/4 * 1/1.
+        p = exact_swor_ordered_probability([1.0, 3.0], [1, 0])
+        assert p == pytest.approx(0.75)
+
+    def test_all_orders_sum_to_one(self):
+        import itertools
+
+        weights = [1.0, 2.0, 5.0]
+        total = sum(
+            exact_swor_ordered_probability(weights, perm)
+            for perm in itertools.permutations(range(3), 2)
+        )
+        # Sum over all ordered pairs of the first two draws is 1.
+        assert total == pytest.approx(1.0)
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            exact_swor_ordered_probability([1.0, -2.0], [1])
+
+
+class TestNagarajaRepresentation:
+    def test_matches_direct_sampling_mean(self):
+        """E[v_D(1)] via the representation matches direct key maxima.
+
+        Proposition 1's second bullet says the two routes are equal in
+        distribution; we compare means over many draws.
+        """
+        weights = [2.0, 5.0, 3.0]
+        rng = random.Random(3)
+        trials = 30000
+        direct = []
+        for _ in range(trials):
+            _, keys = sample_top_keys_direct(weights, 1, rng)
+            direct.append(keys[0])
+        rep = [
+            sample_kth_key_nagaraja(weights, [0], rng) for _ in range(trials)
+        ]
+        # v_D(1) = W / E1 has infinite mean; compare medians instead.
+        direct.sort()
+        rep.sort()
+        med_direct = direct[trials // 2]
+        med_rep = rep[trials // 2]
+        assert abs(med_direct - med_rep) / med_direct < 0.05
+
+    def test_requires_prefix(self, rng):
+        with pytest.raises(ConfigurationError):
+            sample_kth_key_nagaraja([1.0, 2.0], [], rng)
+
+    def test_top_keys_direct_shapes(self, rng):
+        ids, keys = sample_top_keys_direct([1, 2, 3, 4], 2, rng)
+        assert len(ids) == 2 and len(keys) == 2
+        assert keys[0] >= keys[1]
+
+    def test_top_keys_clamps_sample_size(self, rng):
+        ids, keys = sample_top_keys_direct([1, 2], 10, rng)
+        assert len(ids) == 2
+
+
+class TestHarmonic:
+    def test_small_values_exact(self):
+        assert harmonic_partial(1) == pytest.approx(1.0)
+        assert harmonic_partial(3) == pytest.approx(1 + 0.5 + 1 / 3)
+
+    def test_asymptotic_branch_continuous(self):
+        exact = sum(1.0 / i for i in range(1, 101))
+        assert abs(harmonic_partial(100) - exact) < 1e-6
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            harmonic_partial(-1)

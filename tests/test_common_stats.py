@@ -1,0 +1,128 @@
+"""Unit tests for repro.common.stats."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.common import ConfigurationError
+from repro.common.stats import (
+    chi_square_pvalue,
+    chi_square_statistic,
+    empirical_inclusion_frequencies,
+    ks_statistic,
+    mean_and_variance,
+    relative_error,
+    total_variation,
+    within_relative_error,
+)
+
+
+class TestChiSquare:
+    def test_perfect_fit_zero(self):
+        obs = {"a": 10, "b": 20}
+        exp = {"a": 10.0, "b": 20.0}
+        stat, df = chi_square_statistic(obs, exp)
+        assert stat == 0.0 and df == 1
+
+    def test_hand_computed(self):
+        obs = {"a": 12, "b": 8}
+        exp = {"a": 10.0, "b": 10.0}
+        stat, _ = chi_square_statistic(obs, exp)
+        assert stat == pytest.approx(0.4 + 0.4)
+
+    def test_zero_expected_with_observation_is_infinite(self):
+        stat, _ = chi_square_statistic({"a": 1}, {"a": 0.0, "b": 1.0})
+        assert math.isinf(stat)
+        assert chi_square_pvalue(stat, 1) == 0.0
+
+    def test_pvalue_uniform_under_null(self):
+        """A fair die's chi-square p-value should usually be large."""
+        rng = random.Random(1)
+        n = 6000
+        counts = {}
+        for _ in range(n):
+            f = rng.randrange(6)
+            counts[f] = counts.get(f, 0) + 1
+        expected = {f: n / 6 for f in range(6)}
+        stat, df = chi_square_statistic(counts, expected)
+        assert chi_square_pvalue(stat, df) > 0.001
+
+    def test_pvalue_rejects_bad_fit(self):
+        stat, df = chi_square_statistic(
+            {"a": 100, "b": 0}, {"a": 50.0, "b": 50.0}
+        )
+        assert chi_square_pvalue(stat, df) < 1e-6
+
+
+class TestTotalVariation:
+    def test_identical_zero(self):
+        assert total_variation({"a": 0.5, "b": 0.5}, {"a": 0.5, "b": 0.5}) == 0.0
+
+    def test_disjoint_one(self):
+        assert total_variation({"a": 1.0}, {"b": 1.0}) == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        p = {"a": 0.7, "b": 0.3}
+        q = {"a": 0.4, "b": 0.6}
+        assert total_variation(p, q) == pytest.approx(total_variation(q, p))
+
+
+class TestKs:
+    def test_exact_uniform_sample(self):
+        sample = [i / 100 for i in range(1, 101)]
+        stat = ks_statistic(sample, lambda x: min(max(x, 0.0), 1.0))
+        assert stat < 0.02
+
+    def test_bad_fit_detected(self):
+        sample = [0.9] * 100
+        stat = ks_statistic(sample, lambda x: min(max(x, 0.0), 1.0))
+        assert stat > 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ks_statistic([], lambda x: x)
+
+
+class TestEmpiricalInclusion:
+    def test_counts_fractions(self):
+        freqs = empirical_inclusion_frequencies([["a", "b"], ["a"], ["a", "c"]])
+        assert freqs["a"] == pytest.approx(1.0)
+        assert freqs["b"] == pytest.approx(1 / 3)
+        assert freqs["c"] == pytest.approx(1 / 3)
+
+    def test_duplicates_within_trial_counted_once(self):
+        freqs = empirical_inclusion_frequencies([["a", "a"]])
+        assert freqs["a"] == pytest.approx(1.0)
+
+    def test_no_trials_rejected(self):
+        with pytest.raises(ConfigurationError):
+            empirical_inclusion_frequencies([])
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(110, 100) == pytest.approx(0.1)
+        assert within_relative_error(95, 100, 0.1)
+        assert not within_relative_error(80, 100, 0.1)
+
+    def test_zero_truth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            relative_error(1.0, 0.0)
+
+
+class TestMeanVariance:
+    def test_known_values(self):
+        mean, var = mean_and_variance([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert var == pytest.approx(1.0)
+
+    def test_single_value(self):
+        mean, var = mean_and_variance([5.0])
+        assert mean == 5.0 and var == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mean_and_variance([])

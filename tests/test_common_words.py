@@ -1,0 +1,35 @@
+"""Unit tests for repro.common.words (machine-word accounting)."""
+
+from __future__ import annotations
+
+from repro.common.words import word_size_bits, words_for_payload, words_for_value
+
+
+class TestWordSizeBits:
+    def test_floor_is_32(self):
+        assert word_size_bits(1, 1.0) == 32
+
+    def test_grows_with_magnitude(self):
+        assert word_size_bits(10**12, 1e12) > word_size_bits(100, 100.0)
+
+
+class TestWordsForValue:
+    def test_zero_is_one_word(self):
+        assert words_for_value(0.0) == 1
+
+    def test_small_values_one_word(self):
+        assert words_for_value(12345.0) == 1
+
+    def test_huge_values_span_words(self):
+        assert words_for_value(2.0**100, word_bits=64) == 2
+
+
+class TestWordsForPayload:
+    def test_counts_fields(self):
+        assert words_for_payload((1, 2.0, 3.0)) == 3
+
+    def test_strings_cost_one_word(self):
+        assert words_for_payload(("tag", 1)) == 2
+
+    def test_empty_payload_minimum_one(self):
+        assert words_for_payload(()) == 1

@@ -1,0 +1,67 @@
+"""Definition 3's continuous guarantee, certified at every prefix.
+
+The protocol must hold a valid weighted SWOR after *each* arrival —
+including while items sit withheld in level sets.  Using the
+certification harness, every prefix length of a small adversarial
+universe is statistically tested against its own exact law.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import certify_swor
+from repro.core import DistributedWeightedSWOR, SworConfig
+
+# A universe designed to stress withholding: a giant early, a giant
+# late, light items in between.
+WEIGHTS = [64.0, 1.0, 2.0, 4.0, 128.0, 3.0]
+
+
+@pytest.mark.parametrize("prefix", [1, 2, 3, 4, 5, 6])
+def test_every_prefix_is_a_valid_swor(prefix):
+    result = certify_swor(
+        lambda seed: DistributedWeightedSWOR(
+            SworConfig(num_sites=2, sample_size=2), seed=seed
+        ),
+        WEIGHTS,
+        sample_size=2,
+        trials=2500,
+        num_sites=2,
+        prefix=prefix,
+    )
+    assert result.passed, f"prefix {prefix}: {result.summary()}"
+
+
+def test_prefix_certification_catches_withholding_bugs():
+    """A deliberately broken protocol that excludes withheld items from
+    queries must FAIL prefix certification — evidence the harness has
+    teeth for exactly the bug class level sets could introduce."""
+
+    class BrokenProtocol:
+        """Samples only from released (saturated-level) items."""
+
+        def __init__(self, seed):
+            self._inner = DistributedWeightedSWOR(
+                SworConfig(num_sites=2, sample_size=2), seed=seed
+            )
+
+        def run(self, stream):
+            return self._inner.run(stream)
+
+        def sample(self):
+            # Ignore pending level-set entries (the bug): use only S.
+            items = self._inner.coordinator.sample_set.items()
+            # Pad deterministically to size 2 so the size check passes
+            # and the distributional check does the catching.
+            from repro.stream import Item
+
+            while len(items) < 2:
+                items.append(Item(-1 - len(items), 1.0))
+            return items[:2]
+
+    result = certify_swor(
+        BrokenProtocol, WEIGHTS, sample_size=2, trials=1500, num_sites=2,
+        prefix=3,
+    )
+    assert not result.passed

@@ -1,0 +1,129 @@
+"""End-to-end scenarios: all trackers on one realistic stream.
+
+Simulates the paper's two motivating deployments at once: the same
+distributed stream is consumed by the weighted SWOR sampler, the
+residual heavy-hitter tracker, and the L1 tracker, and every output is
+checked against the exact offline oracles.  This is the "would a
+downstream user get coherent answers" test.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    DistributedWeightedSWOR,
+    L1Tracker,
+    ResidualHeavyHitterTracker,
+    SworConfig,
+)
+from repro.centralized import (
+    exact_residual_heavy_hitters,
+    identifier_totals,
+)
+from repro.common import relative_error
+from repro.heavy_hitters import score_residual_report
+from repro.stream import (
+    DistributedStream,
+    flows_to_stream,
+    network_flow_trace,
+    queries_to_stream,
+    search_query_log,
+)
+
+
+@pytest.fixture(scope="module")
+def flow_scenario():
+    """A 16-device flow trace with its distributed stream."""
+    rng = random.Random(2019)
+    records = network_flow_trace(25000, 16, rng, pareto_shape=1.1)
+    items = flows_to_stream(records)
+    assignment = [r.device for r in records]
+    return items, DistributedStream(items, assignment, 16)
+
+
+class TestFlowMonitoringPipeline:
+    def test_sampler_outputs_valid_flows(self, flow_scenario):
+        items, stream = flow_scenario
+        proto = DistributedWeightedSWOR(
+            SworConfig(num_sites=16, sample_size=32), seed=1
+        )
+        proto.run(stream)
+        valid_ids = {item.ident for item in items}
+        sample = proto.sample()
+        assert len(sample) == 32
+        assert all(item.ident in valid_ids for item in sample)
+
+    def test_sample_biased_toward_elephants(self, flow_scenario):
+        """Average sampled weight must far exceed the stream average."""
+        items, stream = flow_scenario
+        proto = DistributedWeightedSWOR(
+            SworConfig(num_sites=16, sample_size=32), seed=2
+        )
+        proto.run(stream)
+        mean_stream = sum(i.weight for i in items) / len(items)
+        sample = proto.sample()
+        mean_sample = sum(i.weight for i in sample) / len(sample)
+        assert mean_sample > 3 * mean_stream
+
+    def test_residual_tracker_recall(self, flow_scenario):
+        items, stream = flow_scenario
+        eps = 0.1
+        tracker = ResidualHeavyHitterTracker(16, eps, delta=0.05, seed=3)
+        tracker.run(stream)
+        score = score_residual_report(items, tracker.heavy_hitters(), eps)
+        assert score.recall == 1.0
+
+    def test_l1_estimate_matches_oracle(self, flow_scenario):
+        items, stream = flow_scenario
+        truth = sum(i.weight for i in items)
+        tracker = L1Tracker(16, eps=0.25, delta=0.2, seed=4)
+        tracker.run(stream)
+        assert relative_error(tracker.estimate(), truth) < 0.5
+
+    def test_message_budgets_comparable(self, flow_scenario):
+        """All three trackers together should communicate far less than
+        centralizing the stream once."""
+        items, stream = flow_scenario
+        total = 0
+        proto = DistributedWeightedSWOR(
+            SworConfig(num_sites=16, sample_size=32), seed=5
+        )
+        total += proto.run(stream).total
+        hh = ResidualHeavyHitterTracker(16, 0.1, delta=0.05, seed=6)
+        total += hh.run(stream).total
+        l1 = L1Tracker(16, eps=0.25, delta=0.2, seed=7)
+        total += l1.run(stream).total
+        assert total < len(items)
+
+
+class TestQueryLogPipeline:
+    def test_popular_queries_dominate_sample(self):
+        rng = random.Random(77)
+        records = search_query_log(20000, 8, rng, vocabulary=500, zipf_alpha=1.4)
+        items = queries_to_stream(records)
+        stream = DistributedStream(items, [r.server for r in records], 8)
+        proto = DistributedWeightedSWOR(
+            SworConfig(num_sites=8, sample_size=50), seed=8
+        )
+        proto.run(stream)
+        totals = identifier_totals(items)
+        top_queries = set(
+            sorted(totals, key=lambda q: -totals[q])[:50]
+        )
+        sampled = {item.ident for item in proto.sample()}
+        # Weighted sampling should surface mostly-popular queries.
+        assert len(sampled & top_queries) >= 10
+
+    def test_residual_oracle_consistency(self):
+        """The guarantee scorer and the raw oracle must agree on a
+        stream with repeated identifiers."""
+        rng = random.Random(78)
+        records = search_query_log(5000, 4, rng, vocabulary=50)
+        items = queries_to_stream(records)
+        hitters, residual = exact_residual_heavy_hitters(items, 0.1)
+        assert residual > 0
+        # every reported index is a real stream position
+        assert all(0 <= i < len(items) for i in hitters)

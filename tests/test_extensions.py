@@ -1,0 +1,176 @@
+"""Tests for repro.extensions: sliding-window SWOR and cascade sampling."""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import Counter
+
+import pytest
+
+from repro.common import (
+    ConfigurationError,
+    InvalidWeightError,
+    chi_square_pvalue,
+    chi_square_statistic,
+    exact_swor_inclusion_probabilities,
+)
+from repro.extensions import CascadeWeightedSWOR, SlidingWindowWeightedSWOR
+from repro.stream import Item
+
+
+class TestSlidingWindowSWOR:
+    def test_whole_stream_sample_law(self):
+        weights = [1.0, 3.0, 6.0, 2.0, 8.0]
+        s, trials = 2, 6000
+        counts = Counter()
+        for t in range(trials):
+            sw = SlidingWindowWeightedSWOR(s, random.Random(t))
+            for i, w in enumerate(weights):
+                sw.insert(Item(i, w))
+            for item in sw.sample():
+                counts[item.ident] += 1
+        exact = exact_swor_inclusion_probabilities(weights, s)
+        expected = {i: trials * p for i, p in enumerate(exact)}
+        stat, df = chi_square_statistic(counts, expected)
+        assert chi_square_pvalue(stat, df) > 1e-4
+
+    def test_window_sample_law_excludes_old_giant(self):
+        """A giant outside the window must never appear; within-window
+        items follow the window's own SWOR law."""
+        weights = [1e9, 1.0, 5.0, 2.0, 8.0, 4.0]
+        s, window, trials = 2, 4, 6000
+        counts = Counter()
+        for t in range(trials):
+            sw = SlidingWindowWeightedSWOR(s, random.Random(t + 10**6))
+            for i, w in enumerate(weights):
+                sw.insert(Item(i, w))
+            for item in sw.sample(window=window):
+                counts[item.ident] += 1
+        assert counts[0] == 0  # giant fell out of the window
+        exact = exact_swor_inclusion_probabilities(weights[2:], s)
+        expected = {i + 2: trials * p for i, p in enumerate(exact)}
+        stat, df = chi_square_statistic(counts, expected)
+        assert chi_square_pvalue(stat, df) > 1e-4
+
+    def test_sample_size_clamped_to_window(self):
+        sw = SlidingWindowWeightedSWOR(5, random.Random(1))
+        for i in range(3):
+            sw.insert(Item(i, 2.0))
+        assert len(sw.sample(window=2)) == 2
+
+    def test_space_is_logarithmic(self):
+        """Retained candidates ~ s·ln(n/s), far below n."""
+        s, n = 8, 20000
+        sw = SlidingWindowWeightedSWOR(s, random.Random(3))
+        rng = random.Random(4)
+        for i in range(n):
+            sw.insert(Item(i, rng.uniform(1.0, 5.0)))
+        expected = s * math.log(n / s)
+        assert sw.retained_count() < 6 * expected
+        assert sw.retained_count() < n / 10
+
+    def test_horizon_discards_old(self):
+        sw = SlidingWindowWeightedSWOR(2, random.Random(5), horizon=10)
+        for i in range(100):
+            sw.insert(Item(i, 1.0))
+        assert all(e.index >= 90 for e in sw._entries)
+
+    def test_window_validation(self):
+        sw = SlidingWindowWeightedSWOR(2, random.Random(6), horizon=10)
+        sw.insert(Item(0, 1.0))
+        with pytest.raises(ConfigurationError):
+            sw.sample(window=0)
+        with pytest.raises(ConfigurationError):
+            sw.sample(window=20)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            SlidingWindowWeightedSWOR(0, random.Random(7))
+        with pytest.raises(ConfigurationError):
+            SlidingWindowWeightedSWOR(2, random.Random(7), horizon=0)
+
+    def test_invalid_weight(self):
+        sw = SlidingWindowWeightedSWOR(2, random.Random(8))
+        with pytest.raises(InvalidWeightError):
+            sw.insert(Item(0, -1.0))
+
+    def test_keys_decreasing_in_sample(self):
+        sw = SlidingWindowWeightedSWOR(4, random.Random(9))
+        for i in range(50):
+            sw.insert(Item(i, 1.0 + i % 3))
+        keys = [k for _, k in sw.sample_with_keys()]
+        assert keys == sorted(keys, reverse=True)
+
+
+class TestCascadeSWOR:
+    def test_matches_exact_law(self):
+        """Cascade sampling and exponential keys implement the same
+        Definition 1 law — two structurally different algorithms."""
+        weights = [1.0, 3.0, 6.0, 2.0, 8.0]
+        s, trials = 2, 8000
+        counts = Counter()
+        for t in range(trials):
+            cascade = CascadeWeightedSWOR(s, random.Random(t))
+            for i, w in enumerate(weights):
+                cascade.insert(Item(i, w))
+            for item in cascade.sample():
+                counts[item.ident] += 1
+        exact = exact_swor_inclusion_probabilities(weights, s)
+        expected = {i: trials * p for i, p in enumerate(exact)}
+        stat, df = chi_square_statistic(counts, expected)
+        assert chi_square_pvalue(stat, df) > 1e-4
+
+    def test_first_level_is_single_weighted_sample(self):
+        weights = [1.0, 2.0, 7.0]
+        trials = 8000
+        counts = Counter()
+        for t in range(trials):
+            cascade = CascadeWeightedSWOR(1, random.Random(t + 5))
+            for i, w in enumerate(weights):
+                cascade.insert(Item(i, w))
+            counts[cascade.sample()[0].ident] += 1
+        for i, w in enumerate(weights):
+            assert abs(counts[i] / trials - w / 10.0) < 0.02
+
+    def test_underfull_prefix(self):
+        cascade = CascadeWeightedSWOR(5, random.Random(1))
+        cascade.insert(Item(0, 1.0))
+        cascade.insert(Item(1, 1.0))
+        assert len(cascade) == 2
+        sample_ids = {item.ident for item in cascade.sample()}
+        assert sample_ids == {0, 1}
+
+    def test_sample_is_distinct(self):
+        cascade = CascadeWeightedSWOR(4, random.Random(2))
+        for i in range(100):
+            cascade.insert(Item(i, 1.0 + i % 5))
+        idents = [item.ident for item in cascade.sample()]
+        assert len(idents) == len(set(idents)) == 4
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            CascadeWeightedSWOR(0, random.Random(3))
+        with pytest.raises(InvalidWeightError):
+            CascadeWeightedSWOR(2, random.Random(3)).insert(Item(0, 0.0))
+
+    def test_agrees_with_sliding_window_on_full_stream(self):
+        """Three-way cross-validation: cascade vs sliding-window (full
+        window) on identical inputs, compared via TV distance."""
+        weights = [2.0, 5.0, 1.0, 4.0]
+        s, trials = 2, 6000
+        c1, c2 = Counter(), Counter()
+        for t in range(trials):
+            a = CascadeWeightedSWOR(s, random.Random(t))
+            b = SlidingWindowWeightedSWOR(s, random.Random(t + 7777))
+            for i, w in enumerate(weights):
+                a.insert(Item(i, w))
+                b.insert(Item(i, w))
+            for item in a.sample():
+                c1[item.ident] += 1
+            for item in b.sample():
+                c2[item.ident] += 1
+        tv = 0.5 * sum(
+            abs(c1.get(i, 0) - c2.get(i, 0)) / (trials * s) for i in range(4)
+        )
+        assert tv < 0.03

@@ -1,0 +1,152 @@
+"""Tests for residual heavy-hitter tracking (Theorem 4)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.common import ConfigurationError
+from repro.centralized import SpaceSaving, WeightedReservoirSWR
+from repro.heavy_hitters import (
+    ResidualHeavyHitterTracker,
+    score_l1_report,
+    score_residual_report,
+    theorem4_sample_size,
+)
+from repro.stream import (
+    Item,
+    round_robin,
+    two_phase_residual_stream,
+    uniform_random,
+)
+
+
+def _residual_stream(seed, n=4000, eps=0.1):
+    rng = random.Random(seed)
+    return two_phase_residual_stream(
+        n,
+        rng,
+        num_giants=int(1 / eps) // 2,
+        giant_weight=1e7,
+        residual_heavy=6,
+        residual_fraction=eps * 1.5,
+    )
+
+
+class TestSampleSize:
+    def test_formula(self):
+        import math
+
+        s = theorem4_sample_size(0.1, 0.05)
+        assert s == math.ceil(6 * math.log(1 / (0.05 * 0.1)) / 0.1)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            theorem4_sample_size(0.0, 0.1)
+        with pytest.raises(ConfigurationError):
+            theorem4_sample_size(0.1, 1.0)
+
+
+class TestResidualTracker:
+    def test_recall_is_one_whp(self):
+        """Theorem 4: all residual heavy hitters reported, w.p. 1-delta.
+        With delta=0.05 and 8 seeds, all-recall-1.0 has probability
+        > 0.6^... — allow at most one miss across seeds."""
+        eps = 0.1
+        misses = 0
+        for seed in range(8):
+            items = _residual_stream(seed, eps=eps)
+            stream = uniform_random(items, 8, random.Random(seed + 100))
+            tracker = ResidualHeavyHitterTracker(8, eps, delta=0.05, seed=seed)
+            tracker.run(stream)
+            score = score_residual_report(items, tracker.heavy_hitters(), eps)
+            if score.recall < 1.0:
+                misses += 1
+        assert misses <= 1
+
+    def test_report_size_bounded(self):
+        eps = 0.1
+        items = _residual_stream(0, eps=eps)
+        tracker = ResidualHeavyHitterTracker(4, eps, seed=1)
+        tracker.run(round_robin(items, 4))
+        assert len(tracker.heavy_hitters()) <= tracker.report_size()
+        assert tracker.report_size() == 20
+
+    def test_swr_fails_where_swor_succeeds(self):
+        """The motivating separation: an SWR sampler of the same size
+        sees only the giants and misses the residual tier."""
+        eps = 0.1
+        items = _residual_stream(3, eps=eps)
+        s = theorem4_sample_size(eps, 0.05)
+        rng = random.Random(4)
+        swr = WeightedReservoirSWR(s, rng)
+        for item in items:
+            swr.insert(item)
+        swr_report = sorted(
+            set(swr.sample()), key=lambda it: -it.weight
+        )[: int(2 / eps)]
+        swr_score = score_residual_report(items, swr_report, eps)
+        tracker = ResidualHeavyHitterTracker(4, eps, delta=0.05, seed=5)
+        tracker.run(round_robin(items, 4))
+        swor_score = score_residual_report(items, tracker.heavy_hitters(), eps)
+        assert swor_score.recall > swr_score.recall
+
+    def test_l1_guarantee_implied(self):
+        """Residual tracking also satisfies the weaker Definition 5."""
+        eps = 0.1
+        items = _residual_stream(6, eps=eps)
+        tracker = ResidualHeavyHitterTracker(4, eps, delta=0.05, seed=7)
+        tracker.run(round_robin(items, 4))
+        score = score_l1_report(items, tracker.heavy_hitters(), eps)
+        assert score.recall == 1.0
+
+    def test_message_complexity_reasonable(self):
+        # Needs a stream long enough that level sets saturate (the
+        # per-level withholding quota is 4rs = O(s) items); below that
+        # scale every item is legitimately an early message.
+        eps = 0.1
+        items = _residual_stream(8, n=30000, eps=eps)
+        tracker = ResidualHeavyHitterTracker(8, eps, delta=0.05, seed=9)
+        counters = tracker.run(round_robin(items, 8))
+        assert counters.total < 0.6 * len(items)  # far fewer than send-all
+
+    def test_sample_size_override(self):
+        tracker = ResidualHeavyHitterTracker(
+            2, 0.1, seed=1, sample_size_override=5
+        )
+        assert tracker.sample_size == 5
+
+    def test_invalid_eps(self):
+        with pytest.raises(ConfigurationError):
+            ResidualHeavyHitterTracker(2, 1.5)
+
+
+class TestScoring:
+    def test_perfect_report(self):
+        items = [Item(0, 100.0), Item(1, 1.0), Item(2, 1.0)]
+        score = score_l1_report(items, [Item(0, 100.0)], 0.5)
+        assert score.recall == 1.0 and score.precision == 1.0
+
+    def test_missed_hitter_detected(self):
+        items = [Item(0, 100.0), Item(1, 90.0), Item(2, 1.0)]
+        score = score_l1_report(items, [Item(0, 100.0)], 0.4)
+        assert score.recall == 0.5
+        assert score.missed == {1}
+
+    def test_empty_truth_recall_one(self):
+        items = [Item(i, 1.0) for i in range(100)]
+        score = score_l1_report(items, [], 0.5)
+        assert score.recall == 1.0
+
+    def test_spacesaving_lacks_residual_guarantee(self):
+        """Space-Saving with the usual O(1/eps) capacity misses
+        residual heavy hitters that hide below the giants."""
+        eps = 0.1
+        items = _residual_stream(10, eps=eps)
+        ss = SpaceSaving(capacity=int(2 / eps))
+        for item in items:
+            ss.insert(item)
+        report = [Item(i, w) for i, w in ss.heavy_hitters(eps)]
+        score = score_residual_report(items, report, eps)
+        assert score.recall < 1.0

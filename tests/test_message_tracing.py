@@ -1,0 +1,111 @@
+"""Message-sequencing tests via the trace recorder.
+
+The counters say *how many* messages flowed; these tests pin down the
+*order* the paper's algorithms imply: saturation broadcasts fire once
+per level after exactly 4rs early messages of that level, epoch
+announcements strictly increase, and regular traffic for a level starts
+only after its saturation broadcast.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+from repro.core import DistributedWeightedSWOR, SworConfig, level_of
+from repro.net import MessageTrace
+from repro.net.messages import EARLY, EPOCH_UPDATE, LEVEL_SATURATED, REGULAR
+from repro.stream import round_robin, zipf_stream
+
+
+def _traced_run(k=8, s=8, n=8000, seed=3):
+    proto = DistributedWeightedSWOR(
+        SworConfig(num_sites=k, sample_size=s), seed=seed
+    )
+    trace = MessageTrace.attach(proto.network)
+    rng = random.Random(seed)
+    items = zipf_stream(n, rng, alpha=1.3)
+    proto.run(round_robin(items, k))
+    return proto, trace
+
+
+class TestSaturationSequencing:
+    def test_one_broadcast_per_level(self):
+        proto, trace = _traced_run()
+        saturated = trace.of_kind(LEVEL_SATURATED)
+        levels = [e.payload[0] for e in saturated]
+        assert len(levels) == len(set(levels))
+
+    def test_exactly_saturation_size_earlies_before_broadcast(self):
+        proto, trace = _traced_run()
+        quota = proto.config.saturation_size
+        r = proto.config.r
+        for event in trace.of_kind(LEVEL_SATURATED):
+            level = event.payload[0]
+            earlies_before = sum(
+                1
+                for e in trace.events[: event.seq]
+                if e.kind == EARLY and level_of(e.payload[1], r) == level
+            )
+            assert earlies_before == quota
+
+    def test_no_early_after_saturation(self):
+        proto, trace = _traced_run()
+        r = proto.config.r
+        for event in trace.of_kind(LEVEL_SATURATED):
+            level = event.payload[0]
+            later_earlies = [
+                e
+                for e in trace.events[event.seq + 1 :]
+                if e.kind == EARLY and level_of(e.payload[1], r) == level
+            ]
+            assert later_earlies == []
+
+    def test_regular_only_for_saturated_levels(self):
+        """A regular message's weight must belong to a level whose
+        saturation broadcast already happened."""
+        proto, trace = _traced_run()
+        r = proto.config.r
+        saturated_at = {}
+        for e in trace.of_kind(LEVEL_SATURATED):
+            saturated_at[e.payload[0]] = e.seq
+        for e in trace.of_kind(REGULAR):
+            level = level_of(e.payload[1], r)
+            assert level in saturated_at and saturated_at[level] < e.seq
+
+
+class TestEpochSequencing:
+    def test_thresholds_strictly_increase(self):
+        proto, trace = _traced_run()
+        thresholds = [p[0] for p in trace.payload_series(EPOCH_UPDATE)]
+        assert len(thresholds) >= 1
+        assert all(b > a for a, b in zip(thresholds, thresholds[1:]))
+
+    def test_thresholds_are_powers_of_r(self):
+        import math
+
+        proto, trace = _traced_run()
+        r = proto.config.r
+        for (value,) in trace.payload_series(EPOCH_UPDATE):
+            exponent = math.log(value) / math.log(r)
+            assert abs(exponent - round(exponent)) < 1e-9
+
+
+class TestTraceApi:
+    def test_kinds_counter_matches_counters(self):
+        proto, trace = _traced_run()
+        kinds = trace.kinds()
+        # Trace logs one event per broadcast; counters count k copies.
+        assert kinds[EARLY] == proto.counters.by_kind[EARLY]
+        assert kinds[REGULAR] == proto.counters.by_kind[REGULAR]
+        k = proto.config.num_sites
+        assert kinds[LEVEL_SATURATED] * k == proto.counters.by_kind[LEVEL_SATURATED]
+
+    def test_first_index_and_missing_kind(self):
+        proto, trace = _traced_run()
+        assert trace.first_index(EARLY) == 0  # first item is withheld
+        assert trace.first_index("nonexistent") is None
+
+    def test_events_causally_numbered(self):
+        proto, trace = _traced_run(n=2000)
+        assert [e.seq for e in trace.events] == list(range(len(trace.events)))

@@ -1,0 +1,114 @@
+"""Hypothesis property tests at the whole-protocol level.
+
+Smaller example counts than the data-structure properties (each example
+runs a full protocol), but the invariants are the strongest in the
+suite: for arbitrary weight multisets, site counts, sample sizes, and
+partitions, the protocol must maintain Definition 3's structural
+guarantees and internally-consistent accounting.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DistributedWeightedSWOR, SworConfig
+from repro.l1 import L1Tracker
+from repro.stream import DistributedStream, Item
+
+
+weights_lists = st.lists(
+    st.floats(min_value=1.0, max_value=1e9, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=40,
+)
+
+
+@st.composite
+def protocol_instances(draw):
+    weights = draw(weights_lists)
+    k = draw(st.integers(min_value=1, max_value=5))
+    s = draw(st.integers(min_value=1, max_value=6))
+    assignment = [draw(st.integers(min_value=0, max_value=k - 1)) for _ in weights]
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    items = [Item(i, w) for i, w in enumerate(weights)]
+    return items, DistributedStream(items, assignment, k), k, s, seed
+
+
+class TestSworProtocolProperties:
+    @given(instance=protocol_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_sample_size_and_validity_at_end(self, instance):
+        items, stream, k, s, seed = instance
+        proto = DistributedWeightedSWOR(
+            SworConfig(num_sites=k, sample_size=s), seed=seed
+        )
+        proto.run(stream)
+        sample = proto.sample()
+        assert len(sample) == min(len(items), s)
+        idents = [item.ident for item in sample]
+        assert len(idents) == len(set(idents))  # without replacement
+        valid = {item.ident for item in items}
+        assert set(idents) <= valid
+
+    @given(instance=protocol_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_sample_size_at_every_step(self, instance):
+        items, stream, k, s, seed = instance
+        proto = DistributedWeightedSWOR(
+            SworConfig(num_sites=k, sample_size=s), seed=seed
+        )
+        for t, (site, item) in enumerate(stream, start=1):
+            proto.process(site, item)
+            assert len(proto.sample()) == min(t, s)
+
+    @given(instance=protocol_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_counter_consistency(self, instance):
+        items, stream, k, s, seed = instance
+        proto = DistributedWeightedSWOR(
+            SworConfig(num_sites=k, sample_size=s), seed=seed
+        )
+        counters = proto.run(stream)
+        assert counters.total == counters.upstream + counters.downstream
+        assert counters.upstream <= len(items)  # at most 1 message/item
+        # Downstream traffic is whole broadcasts of k messages each.
+        assert counters.downstream % k == 0
+
+    @given(instance=protocol_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_keys_in_sample_decreasing_and_positive(self, instance):
+        items, stream, k, s, seed = instance
+        proto = DistributedWeightedSWOR(
+            SworConfig(num_sites=k, sample_size=s), seed=seed
+        )
+        proto.run(stream)
+        keys = [key for _, key in proto.sample_with_keys()]
+        assert all(key > 0 for key in keys)
+        assert keys == sorted(keys, reverse=True)
+
+
+class TestL1ProtocolProperties:
+    @given(
+        weights=weights_lists,
+        k=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_estimate_positive_and_finite(self, weights, k, seed):
+        import math
+
+        items = [Item(i, w) for i, w in enumerate(weights)]
+        stream = DistributedStream(items, [i % k for i in range(len(items))], k)
+        tracker = L1Tracker(
+            k, eps=0.3, delta=0.3, seed=seed,
+            sample_size_override=16, duplication_override=32,
+        )
+        tracker.run(stream)
+        estimate = tracker.estimate()
+        assert math.isfinite(estimate) and estimate > 0
+        truth = sum(weights)
+        # Very loose sanity band (s=16 gives weak concentration, and
+        # heavy-tailed universes are the hard case): order of magnitude.
+        assert truth / 100 < estimate < truth * 100

@@ -1,0 +1,63 @@
+"""Unit tests for repro.stream.datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import ConfigurationError
+from repro.stream import (
+    flows_to_stream,
+    network_flow_trace,
+    queries_to_stream,
+    search_query_log,
+    validate_weights,
+)
+
+
+class TestSearchQueryLog:
+    def test_shapes_and_ranges(self, rng):
+        records = search_query_log(500, 8, rng, vocabulary=100)
+        assert len(records) == 500
+        assert all(0 <= r.query_id < 100 for r in records)
+        assert all(0 <= r.server < 8 for r in records)
+        assert all(r.cost >= 1.0 for r in records)
+
+    def test_popularity_is_skewed(self, rng):
+        records = search_query_log(5000, 4, rng, vocabulary=1000, zipf_alpha=1.5)
+        top_query_hits = sum(1 for r in records if r.query_id == 0)
+        assert top_query_hits > 5000 / 1000  # far above uniform share
+
+    def test_invalid_params_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            search_query_log(0, 4, rng)
+        with pytest.raises(ConfigurationError):
+            search_query_log(10, 0, rng)
+
+    def test_stream_conversion(self, rng):
+        records = search_query_log(100, 4, rng)
+        items = queries_to_stream(records)
+        assert len(items) == 100
+        validate_weights(items)
+
+
+class TestNetworkFlowTrace:
+    def test_shapes(self, rng):
+        records = network_flow_trace(300, 5, rng)
+        assert len(records) == 300
+        assert all(0 <= r.device < 5 for r in records)
+        assert all(r.bytes >= 1.0 for r in records)
+
+    def test_elephants_exist(self, rng):
+        records = network_flow_trace(5000, 5, rng, pareto_shape=1.1)
+        sizes = sorted((r.bytes for r in records), reverse=True)
+        assert sizes[0] / sum(sizes) > 0.005  # heavy-tailed top flow
+
+    def test_invalid_params_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            network_flow_trace(10, 0, rng)
+
+    def test_stream_conversion(self, rng):
+        records = network_flow_trace(50, 3, rng)
+        items = flows_to_stream(records)
+        assert len(items) == 50
+        validate_weights(items)

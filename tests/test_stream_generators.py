@@ -1,0 +1,190 @@
+"""Unit tests for repro.stream.generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.common import ConfigurationError
+from repro.stream import (
+    epoch_unit_stream,
+    epoch_weight_stream,
+    geometric_growth_stream,
+    pareto_stream,
+    planted_heavy_hitter_stream,
+    shuffle_stream,
+    two_phase_residual_stream,
+    uniform_stream,
+    unit_stream,
+    validate_weights,
+    zipf_stream,
+)
+
+
+class TestUnitStream:
+    def test_all_weight_one(self):
+        items = unit_stream(100)
+        assert len(items) == 100
+        assert all(i.weight == 1.0 for i in items)
+
+    def test_identifiers_unique_and_offset(self):
+        items = unit_stream(10, start_ident=50)
+        assert [i.ident for i in items] == list(range(50, 60))
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            unit_stream(0)
+
+
+class TestUniformStream:
+    def test_range_respected(self, rng):
+        items = uniform_stream(500, rng, low=2.0, high=3.0)
+        assert all(2.0 <= i.weight <= 3.0 for i in items)
+        validate_weights(items)
+
+    def test_invalid_bounds_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            uniform_stream(10, rng, low=0.5, high=3.0)
+        with pytest.raises(ConfigurationError):
+            uniform_stream(10, rng, low=5.0, high=3.0)
+
+
+class TestZipfStream:
+    def test_weights_at_least_one_and_bounded(self, rng):
+        items = zipf_stream(2000, rng, alpha=1.3, max_weight=1e4)
+        validate_weights(items)
+        assert all(i.weight <= 1e4 for i in items)
+
+    def test_is_skewed(self, rng):
+        items = zipf_stream(5000, rng, alpha=1.1)
+        weights = sorted((i.weight for i in items), reverse=True)
+        top_share = sum(weights[:50]) / sum(weights)
+        assert top_share > 0.2  # heavy tail dominates
+
+    def test_universe_reuses_identifiers(self, rng):
+        items = zipf_stream(1000, rng, universe=10)
+        assert all(0 <= i.ident < 10 for i in items)
+
+    def test_alpha_must_exceed_one(self, rng):
+        with pytest.raises(ConfigurationError):
+            zipf_stream(10, rng, alpha=1.0)
+
+
+class TestParetoStream:
+    def test_valid_weights(self, rng):
+        items = pareto_stream(1000, rng, shape=1.5)
+        validate_weights(items)
+
+    def test_shape_positive(self, rng):
+        with pytest.raises(ConfigurationError):
+            pareto_stream(10, rng, shape=0.0)
+
+
+class TestPlantedHeavyHitters:
+    def test_dominance_achieved(self, rng):
+        items = planted_heavy_hitter_stream(1000, rng, num_heavy=3, dominance=0.9)
+        weights = sorted((i.weight for i in items), reverse=True)
+        assert sum(weights[:3]) / sum(weights) > 0.85
+
+    def test_count_preserved(self, rng):
+        items = planted_heavy_hitter_stream(500, rng, num_heavy=5)
+        assert len(items) == 500
+
+    def test_invalid_params_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            planted_heavy_hitter_stream(100, rng, num_heavy=0)
+        with pytest.raises(ConfigurationError):
+            planted_heavy_hitter_stream(100, rng, num_heavy=5, dominance=1.0)
+
+
+class TestGeometricGrowthStream:
+    def test_every_update_is_residual_heavy(self):
+        """Theorem 5's property: each new item is an eps/2 heavy hitter
+        of the prefix ending with it."""
+        eps = 0.3
+        items = geometric_growth_stream(eps, total_weight=1e5)
+        total = 0.0
+        for idx, item in enumerate(items):
+            total += item.weight
+            if idx >= 1:
+                assert item.weight >= (eps / 2) * total * 0.999
+
+    def test_reaches_target_weight(self):
+        items = geometric_growth_stream(0.2, total_weight=5000)
+        assert sum(i.weight for i in items) >= 5000
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            geometric_growth_stream(0.0, 100)
+        with pytest.raises(ConfigurationError):
+            geometric_growth_stream(0.2, 1.0)
+
+
+class TestEpochStreams:
+    def test_epoch_weight_structure(self):
+        k, epochs = 4, 3
+        items = epoch_weight_stream(k, epochs)
+        assert len(items) == k * epochs
+        for e in range(epochs):
+            for j in range(k):
+                assert items[e * k + j].weight == float(k**e)
+
+    def test_epoch_weight_first_item_is_heavy(self):
+        """The first arrival of each epoch is a constant-fraction heavy
+        hitter: prior weight is at most 2k^i (the Theorem 5 argument),
+        so the new item is at least 1/3 of the running total."""
+        k = 8
+        items = epoch_weight_stream(k, 4)
+        total = 0.0
+        for e in range(4):
+            first = items[e * k]
+            assert total <= 2.0 * first.weight  # "at most 2k^i"
+            assert first.weight >= (total + first.weight) / 3.0 * 0.999
+            for j in range(k):
+                total += items[e * k + j].weight
+
+    def test_epoch_unit_stream_capped(self):
+        items = epoch_unit_stream(10, 10, cap=500)
+        assert len(items) == 500
+        assert all(i.weight == 1.0 for i in items)
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ConfigurationError):
+            epoch_weight_stream(1, 3)
+        with pytest.raises(ConfigurationError):
+            epoch_unit_stream(1, 3)
+
+
+class TestTwoPhaseResidualStream:
+    def test_tier_structure(self, rng):
+        n, giants, mids = 2000, 4, 6
+        items = two_phase_residual_stream(
+            n, rng, num_giants=giants, giant_weight=1e6,
+            residual_heavy=mids, residual_fraction=0.1,
+        )
+        assert len(items) == n
+        by_id = {i.ident: i.weight for i in items}
+        giant_ids = {n - giants + j for j in range(giants)}
+        for gid in giant_ids:
+            assert by_id[gid] == 1e6
+        # Residual-heavy tier really is eps-heavy in the residual.
+        residual_items = [i for i in items if i.ident not in giant_ids]
+        residual_weight = sum(i.weight for i in residual_items)
+        mid_ids = {n - giants - mids + j for j in range(mids)}
+        for mid in mid_ids:
+            assert by_id[mid] >= 0.095 * residual_weight
+
+    def test_invalid_fraction_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            two_phase_residual_stream(
+                100, rng, num_giants=1, giant_weight=10,
+                residual_heavy=2, residual_fraction=0.9,
+            )
+
+
+def test_shuffle_stream_is_permutation(rng):
+    items = unit_stream(50)
+    shuffled = shuffle_stream(items, rng)
+    assert sorted(shuffled) == sorted(items)
+    assert shuffled != items  # overwhelmingly likely with 50 items

@@ -1,0 +1,84 @@
+"""Unit tests for repro.stream.item."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import ConfigurationError, InvalidWeightError
+from repro.stream import DistributedStream, Item, total_weight, validate_weights
+
+
+class TestItem:
+    def test_fields(self):
+        item = Item(3, 2.5)
+        assert item.ident == 3 and item.weight == 2.5
+
+    def test_is_hashable_tuple(self):
+        assert Item(1, 2.0) == (1, 2.0)
+        assert hash(Item(1, 2.0)) == hash((1, 2.0))
+
+
+class TestValidateWeights:
+    def test_accepts_valid(self, tiny_weighted_items):
+        validate_weights(tiny_weighted_items)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(InvalidWeightError):
+            validate_weights([Item(0, 0.0)])
+        with pytest.raises(InvalidWeightError):
+            validate_weights([Item(0, -1.0)])
+
+    def test_rejects_nan_inf(self):
+        with pytest.raises(InvalidWeightError):
+            validate_weights([Item(0, float("nan"))])
+        with pytest.raises(InvalidWeightError):
+            validate_weights([Item(0, float("inf"))])
+
+    def test_model_normalization_enforced(self):
+        with pytest.raises(InvalidWeightError):
+            validate_weights([Item(0, 0.5)])
+        validate_weights([Item(0, 0.5)], require_at_least_one=False)
+
+
+class TestTotalWeight:
+    def test_sums(self, tiny_weighted_items):
+        assert total_weight(tiny_weighted_items) == 31.0
+
+    def test_empty_zero(self):
+        assert total_weight([]) == 0.0
+
+
+class TestDistributedStream:
+    def test_iteration_order(self, tiny_weighted_items):
+        stream = DistributedStream(tiny_weighted_items, [0, 1, 0, 1, 0], 2)
+        pairs = list(stream)
+        assert [site for site, _ in pairs] == [0, 1, 0, 1, 0]
+        assert [item for _, item in pairs] == tiny_weighted_items
+
+    def test_length_and_totals(self, tiny_weighted_items):
+        stream = DistributedStream(tiny_weighted_items, [0] * 5, 1)
+        assert len(stream) == 5
+        assert stream.total_weight() == 31.0
+
+    def test_prefix_weights(self, tiny_weighted_items):
+        stream = DistributedStream(tiny_weighted_items, [0] * 5, 1)
+        assert stream.prefix_weights() == [1.0, 3.0, 7.0, 15.0, 31.0]
+
+    def test_local_streams_partition(self, tiny_weighted_items):
+        stream = DistributedStream(tiny_weighted_items, [0, 1, 0, 2, 1], 3)
+        locals_ = stream.local_streams()
+        assert [i.ident for i in locals_[0]] == [0, 2]
+        assert [i.ident for i in locals_[1]] == [1, 4]
+        assert [i.ident for i in locals_[2]] == [3]
+
+    def test_mismatched_lengths_rejected(self, tiny_weighted_items):
+        with pytest.raises(ConfigurationError):
+            DistributedStream(tiny_weighted_items, [0, 1], 2)
+
+    def test_bad_site_index_rejected(self, tiny_weighted_items):
+        with pytest.raises(ConfigurationError):
+            DistributedStream(tiny_weighted_items, [0, 1, 0, 5, 0], 2)
+
+    def test_zero_sites_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DistributedStream([], [], 0)

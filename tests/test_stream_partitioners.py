@@ -1,0 +1,82 @@
+"""Unit tests for repro.stream.partitioners."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import ConfigurationError
+from repro.stream import (
+    PARTITIONERS,
+    contiguous_blocks,
+    heavy_to_one_site,
+    round_robin,
+    single_site,
+    uniform_random,
+    unit_stream,
+    uniform_stream,
+)
+
+
+class TestRoundRobin:
+    def test_pattern(self):
+        stream = round_robin(unit_stream(10), 3)
+        assert stream.assignment == [0, 1, 2, 0, 1, 2, 0, 1, 2, 0]
+
+    def test_zero_sites_rejected(self):
+        with pytest.raises(ConfigurationError):
+            round_robin(unit_stream(5), 0)
+
+
+class TestUniformRandom:
+    def test_all_sites_in_range(self, rng):
+        stream = uniform_random(unit_stream(1000), 7, rng)
+        assert all(0 <= site < 7 for site in stream.assignment)
+
+    def test_roughly_balanced(self, rng):
+        stream = uniform_random(unit_stream(7000), 7, rng)
+        locals_ = stream.local_streams()
+        for local in locals_:
+            assert 800 <= len(local) <= 1200
+
+
+class TestContiguousBlocks:
+    def test_blocks_are_contiguous_and_ordered(self):
+        stream = contiguous_blocks(unit_stream(10), 3)
+        assignment = stream.assignment
+        assert assignment == sorted(assignment)
+        assert set(assignment) == {0, 1, 2}
+
+    def test_more_sites_than_items(self):
+        stream = contiguous_blocks(unit_stream(2), 5)
+        assert len(stream) == 2
+
+
+class TestHeavyToOneSite:
+    def test_heavy_items_at_site_zero(self, rng):
+        items = uniform_stream(200, rng, low=1.0, high=100.0)
+        stream = heavy_to_one_site(items, 4)
+        weights = sorted(i.weight for i in items)
+        median = weights[len(weights) // 2]
+        for site, item in stream:
+            if item.weight > median:
+                assert site == 0
+
+    def test_single_site_degenerate(self, rng):
+        items = uniform_stream(20, rng)
+        stream = heavy_to_one_site(items, 1)
+        assert set(stream.assignment) == {0}
+
+
+class TestSingleSite:
+    def test_everything_at_site_zero(self):
+        stream = single_site(unit_stream(5))
+        assert stream.num_sites == 1
+        assert set(stream.assignment) == {0}
+
+
+def test_partitioners_registry_all_runnable(rng):
+    items = unit_stream(30)
+    for name, fn in PARTITIONERS.items():
+        stream = fn(items, 3, rng)
+        assert len(stream) == 30, name
+        assert stream.num_sites == 3, name

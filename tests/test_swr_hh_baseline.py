@@ -1,0 +1,98 @@
+"""Tests for the SWR-based heavy-hitter baseline (Section 1.2 claim).
+
+Both halves of the paper's argument:
+* sampling with replacement DOES find plain eps-l1 heavy hitters
+  (coupon collector), and
+* it does NOT find residual heavy hitters (slots collapse onto giants),
+  while the Theorem 4 tracker does — on the very same streams.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.common import ConfigurationError
+from repro.heavy_hitters import (
+    ResidualHeavyHitterTracker,
+    SwrHeavyHitterTracker,
+    coupon_collector_sample_size,
+    score_l1_report,
+    score_residual_report,
+)
+from repro.stream import round_robin, two_phase_residual_stream, zipf_stream
+
+
+def _residual_stream(seed, eps=0.1, n=4000):
+    rng = random.Random(seed)
+    return two_phase_residual_stream(
+        n, rng,
+        num_giants=3, giant_weight=1e7,
+        residual_heavy=5, residual_fraction=eps * 1.5,
+    )
+
+
+class TestSampleSize:
+    def test_matches_theorem4_budget(self):
+        from repro.heavy_hitters import theorem4_sample_size
+
+        assert coupon_collector_sample_size(0.1, 0.05) == theorem4_sample_size(
+            0.1, 0.05
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            coupon_collector_sample_size(0.0, 0.1)
+
+
+class TestCouponCollectorSuccess:
+    def test_finds_plain_l1_heavy_hitters(self):
+        """On a skewed stream the SWR tracker must report every
+        Definition 5 heavy hitter, w.h.p."""
+        eps = 0.1
+        misses = 0
+        for seed in range(6):
+            rng = random.Random(seed)
+            items = zipf_stream(3000, rng, alpha=1.1, max_weight=1e5)
+            tracker = SwrHeavyHitterTracker(4, eps, delta=0.05, seed=seed)
+            tracker.run(round_robin(items, 4))
+            score = score_l1_report(items, tracker.heavy_hitters(), eps)
+            if score.recall < 1.0:
+                misses += 1
+        assert misses <= 1
+
+
+class TestResidualFailure:
+    def test_misses_residual_tier_where_swor_succeeds(self):
+        eps = 0.1
+        swr_recalls, swor_recalls = [], []
+        for seed in range(4):
+            items = _residual_stream(seed, eps=eps)
+            swr = SwrHeavyHitterTracker(4, eps, delta=0.05, seed=seed)
+            swr.run(round_robin(items, 4))
+            swr_recalls.append(
+                score_residual_report(items, swr.heavy_hitters(), eps).recall
+            )
+            swor = ResidualHeavyHitterTracker(4, eps, delta=0.05, seed=seed)
+            swor.run(round_robin(items, 4))
+            swor_recalls.append(
+                score_residual_report(items, swor.heavy_hitters(), eps).recall
+            )
+        assert min(swor_recalls) >= max(swr_recalls)
+        assert sum(swr_recalls) / len(swr_recalls) < 0.9
+
+    def test_report_is_distinct_and_bounded(self):
+        items = _residual_stream(9)
+        tracker = SwrHeavyHitterTracker(4, 0.1, seed=9)
+        tracker.run(round_robin(items, 4))
+        report = tracker.heavy_hitters()
+        idents = [item.ident for item in report]
+        assert len(idents) == len(set(idents))
+        assert len(report) <= tracker.report_size()
+
+    def test_override_and_validation(self):
+        tracker = SwrHeavyHitterTracker(2, 0.2, seed=1, sample_size_override=7)
+        assert tracker.sample_size == 7
+        with pytest.raises(ConfigurationError):
+            SwrHeavyHitterTracker(2, 2.0)

@@ -1,0 +1,139 @@
+"""Tests for the sampler-certification harness (and, through it, the
+continuous mid-stream guarantee of every SWOR implementation)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis import certify_swor
+from repro.centralized import UnweightedReservoir, WeightedReservoirSWOR
+from repro.common import ConfigurationError
+from repro.core import DistributedWeightedSWOR, SworConfig
+from repro.extensions import CascadeWeightedSWOR
+from repro.stream import Item
+
+WEIGHTS = [1.0, 2.0, 4.0, 8.0, 3.0, 32.0]
+
+
+class TestCertifyCentralized:
+    def test_es_sampler_passes(self):
+        result = certify_swor(
+            lambda seed: WeightedReservoirSWOR(2, random.Random(seed)),
+            WEIGHTS,
+            sample_size=2,
+            trials=3000,
+        )
+        assert result.passed, result.summary()
+        assert result.tv_distance < 0.05
+
+    def test_cascade_passes(self):
+        result = certify_swor(
+            lambda seed: CascadeWeightedSWOR(2, random.Random(seed)),
+            WEIGHTS,
+            sample_size=2,
+            trials=3000,
+        )
+        assert result.passed, result.summary()
+
+    def test_biased_sampler_fails(self):
+        """An unweighted reservoir ignores weights — certification must
+        catch it on a skewed universe."""
+        result = certify_swor(
+            lambda seed: UnweightedReservoir(2, random.Random(seed)),
+            WEIGHTS,
+            sample_size=2,
+            trials=3000,
+        )
+        assert not result.passed
+
+    def test_wrong_sample_size_fails_fast(self):
+        class Undersized:
+            def __init__(self, seed):
+                self._rng = random.Random(seed)
+
+            def insert(self, item):
+                pass
+
+            def sample(self):
+                return [Item(0, 1.0)]  # always 1 item instead of 2
+
+        result = certify_swor(
+            lambda seed: Undersized(seed), WEIGHTS, sample_size=2, trials=10
+        )
+        assert not result.passed and result.pvalue == 0.0
+
+
+class TestCertifyDistributed:
+    def test_distributed_protocol_passes(self):
+        result = certify_swor(
+            lambda seed: DistributedWeightedSWOR(
+                SworConfig(num_sites=3, sample_size=2), seed=seed
+            ),
+            WEIGHTS,
+            sample_size=2,
+            trials=3000,
+            num_sites=3,
+        )
+        assert result.passed, result.summary()
+
+    def test_mid_stream_prefix_certified(self):
+        """Definition 3's continuous guarantee: the sample is a valid
+        SWOR of the *prefix* at an interior time step, even while some
+        items are still withheld in level sets."""
+        result = certify_swor(
+            lambda seed: DistributedWeightedSWOR(
+                SworConfig(num_sites=2, sample_size=2), seed=seed
+            ),
+            WEIGHTS,
+            sample_size=2,
+            trials=3000,
+            num_sites=2,
+            prefix=4,
+        )
+        assert result.passed, result.summary()
+
+    def test_prefix_shorter_than_sample(self):
+        result = certify_swor(
+            lambda seed: DistributedWeightedSWOR(
+                SworConfig(num_sites=2, sample_size=4), seed=seed
+            ),
+            WEIGHTS,
+            sample_size=4,
+            trials=400,
+            num_sites=2,
+            prefix=2,
+        )
+        # min(t, s) = 2 items expected; law over 2 items, s_eff=2.
+        assert result.sample_size == 2
+        assert result.passed, result.summary()
+
+
+class TestValidationErrors:
+    def test_universe_too_large(self):
+        with pytest.raises(ConfigurationError):
+            certify_swor(
+                lambda seed: WeightedReservoirSWOR(2, random.Random(seed)),
+                [1.0] * 20,
+                sample_size=2,
+            )
+
+    def test_bad_prefix(self):
+        with pytest.raises(ConfigurationError):
+            certify_swor(
+                lambda seed: WeightedReservoirSWOR(2, random.Random(seed)),
+                WEIGHTS,
+                sample_size=2,
+                prefix=0,
+            )
+
+    def test_summary_format(self):
+        result = certify_swor(
+            lambda seed: WeightedReservoirSWOR(1, random.Random(seed)),
+            [1.0, 5.0],
+            sample_size=1,
+            trials=500,
+        )
+        assert "p=" in result.summary()
+        assert result.summary().startswith(("PASS", "FAIL"))
