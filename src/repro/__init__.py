@@ -49,6 +49,7 @@ from .l1 import (
     theorem6_sample_size,
 )
 from .net import MessageCounters, Network
+from .runtime import BatchedEngine, Engine, ReferenceEngine, get_engine
 from .stream import DistributedStream, Item
 
 __version__ = "1.0.0"
@@ -66,6 +67,11 @@ __all__ = [
     "DistributedStream",
     "Network",
     "MessageCounters",
+    # runtime engines
+    "Engine",
+    "ReferenceEngine",
+    "BatchedEngine",
+    "get_engine",
     # core protocols
     "SworConfig",
     "DistributedWeightedSWOR",

@@ -10,12 +10,13 @@ roughly flat across the sweep.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from ..common.rng import RandomSource
 from ..core.config import SworConfig
 from ..core.naive import PerSiteTopS
 from ..core.protocol import DistributedWeightedSWOR
+from ..runtime import Engine
 from ..stream.item import DistributedStream, Item
 from ..stream.partitioners import round_robin
 from . import bounds
@@ -34,14 +35,22 @@ def run_swor_once(
     sample_size: int,
     seed: int,
     config_kwargs: Optional[dict] = None,
+    engine: Union[str, Engine, None] = None,
+    batch_size: Optional[int] = None,
 ) -> Dict[str, float]:
-    """Run the Theorem 3 protocol once; return a measurement row."""
+    """Run the Theorem 3 protocol once; return a measurement row.
+
+    ``engine`` / ``batch_size`` select the execution engine, so every
+    sweep below can be measured under either runtime.
+    """
     cfg = SworConfig(
         num_sites=stream.num_sites,
         sample_size=sample_size,
         **(config_kwargs or {}),
     )
-    proto = DistributedWeightedSWOR(cfg, seed=seed)
+    proto = DistributedWeightedSWOR(
+        cfg, seed=seed, engine=engine, batch_size=batch_size
+    )
     counters = proto.run(stream)
     total_w = stream.total_weight()
     bound = bounds.swor_message_bound(stream.num_sites, sample_size, total_w)
@@ -75,6 +84,8 @@ def messages_vs_weight(
     s: int,
     reps: int = 3,
     base_seed: int = 0,
+    engine: Union[str, Engine, None] = None,
+    batch_size: Optional[int] = None,
 ) -> List[Dict[str, float]]:
     """E1 sweep: grow the stream (hence ``W``), fix ``k`` and ``s``.
 
@@ -87,7 +98,15 @@ def messages_vs_weight(
         for rep in range(reps):
             rng = random.Random(base_seed * 7919 + n * 31 + rep)
             stream = round_robin(make_items(rng, n), k)
-            reps_rows.append(run_swor_once(stream, s, seed=base_seed + rep))
+            reps_rows.append(
+                run_swor_once(
+                    stream,
+                    s,
+                    seed=base_seed + rep,
+                    engine=engine,
+                    batch_size=batch_size,
+                )
+            )
         rows.append(_mean_rows(reps_rows))
     return rows
 
@@ -99,6 +118,8 @@ def messages_vs_sites(
     s: int,
     reps: int = 3,
     base_seed: int = 0,
+    engine: Union[str, Engine, None] = None,
+    batch_size: Optional[int] = None,
 ) -> List[Dict[str, float]]:
     """E2 sweep: fix the stream, sweep ``k``."""
     rows = []
@@ -107,7 +128,15 @@ def messages_vs_sites(
         for rep in range(reps):
             rng = random.Random(base_seed * 7919 + k * 131 + rep)
             stream = round_robin(make_items(rng, n), k)
-            reps_rows.append(run_swor_once(stream, s, seed=base_seed + rep))
+            reps_rows.append(
+                run_swor_once(
+                    stream,
+                    s,
+                    seed=base_seed + rep,
+                    engine=engine,
+                    batch_size=batch_size,
+                )
+            )
         rows.append(_mean_rows(reps_rows))
     return rows
 
@@ -120,6 +149,8 @@ def messages_vs_sample_size(
     reps: int = 3,
     base_seed: int = 0,
     include_naive: bool = True,
+    engine: Union[str, Engine, None] = None,
+    batch_size: Optional[int] = None,
 ) -> List[Dict[str, float]]:
     """E3 sweep: fix stream and ``k``, sweep ``s``; optionally run the
     naive per-site-top-``s`` baseline on the identical streams."""
@@ -130,7 +161,13 @@ def messages_vs_sample_size(
             rng = random.Random(base_seed * 7919 + s * 17 + rep)
             items = make_items(rng, n)
             stream = round_robin(items, k)
-            row = run_swor_once(stream, s, seed=base_seed + rep)
+            row = run_swor_once(
+                stream,
+                s,
+                seed=base_seed + rep,
+                engine=engine,
+                batch_size=batch_size,
+            )
             if include_naive:
                 naive = PerSiteTopS(k, s, seed=base_seed + rep + 1000)
                 ncount = naive.run(round_robin(items, k))
@@ -149,12 +186,15 @@ def inclusion_frequencies(
     base_seed: int = 0,
     partition_seed: int = 99,
     protocol_factory: Optional[Callable[[int], object]] = None,
+    engine: Union[str, Engine, None] = None,
+    batch_size: Optional[int] = None,
 ) -> Dict[int, float]:
     """E4: empirical inclusion frequency of each identifier over many
     independent protocol runs (identifiers must be unique per item).
 
     ``protocol_factory(seed)`` may supply any object with ``run`` and
-    ``sample``; defaults to the Theorem 3 protocol.
+    ``sample``; defaults to the Theorem 3 protocol under the selected
+    engine.
     """
     from ..stream.partitioners import uniform_random
 
@@ -166,6 +206,8 @@ def inclusion_frequencies(
             proto: object = DistributedWeightedSWOR(
                 SworConfig(num_sites=k, sample_size=s),
                 seed=base_seed + trial,
+                engine=engine,
+                batch_size=batch_size,
             )
         else:
             proto = protocol_factory(base_seed + trial)

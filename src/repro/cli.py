@@ -11,6 +11,10 @@ Examples::
 Each subcommand synthesizes a seeded workload, runs the protocol, and
 prints a result table (sample / report / estimate plus message counts
 against the relevant closed-form bound).
+
+Every subcommand accepts ``--engine {reference,batched}`` (and
+``--batch-size N`` for the batched engine) to pick the execution
+runtime; see :mod:`repro.runtime`.
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ from .analysis import bounds, format_table
 from .core import DistributedWeightedSWOR, DistributedWeightedSWR, SworConfig
 from .heavy_hitters import ResidualHeavyHitterTracker
 from .l1 import DeterministicCounterTracker, HyzStyleTracker, L1Tracker
+from .runtime import ENGINES, get_engine
 from .stream import (
     round_robin,
     two_phase_residual_stream,
@@ -43,10 +48,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def engine_opts(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--engine",
+            choices=sorted(ENGINES),
+            default="reference",
+            help="execution engine (reference = synchronous round model, "
+            "batched = vectorized chunked fast path)",
+        )
+        p.add_argument(
+            "--batch-size",
+            type=int,
+            default=None,
+            help="steady-state batch size for --engine batched",
+        )
+
     def common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--sites", type=int, default=16, help="number of sites k")
         p.add_argument("--items", type=int, default=20000, help="stream length")
         p.add_argument("--seed", type=int, default=0, help="root seed")
+        engine_opts(p)
 
     p_swor = sub.add_parser("swor", help="weighted SWOR (Theorem 3)")
     common(p_swor)
@@ -78,7 +99,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_bounds.add_argument("--eps", type=float, default=0.1)
     p_bounds.add_argument("--delta", type=float, default=0.05)
     p_bounds.add_argument("--weight", type=float, default=1e9)
+    engine_opts(p_bounds)  # accepted for flag uniformity; bounds runs no stream
     return parser
+
+
+def _engine_of(args: argparse.Namespace):
+    """Resolve the subcommand's engine selection."""
+    if args.batch_size is not None and args.engine != "batched":
+        raise SystemExit("--batch-size requires --engine batched")
+    return get_engine(args.engine, batch_size=args.batch_size)
 
 
 def _cmd_swor(args: argparse.Namespace) -> str:
@@ -88,6 +117,7 @@ def _cmd_swor(args: argparse.Namespace) -> str:
     proto = DistributedWeightedSWOR(
         SworConfig(num_sites=args.sites, sample_size=args.sample),
         seed=args.seed,
+        engine=_engine_of(args),
     )
     counters = proto.run(stream)
     w = stream.total_weight()
@@ -108,7 +138,9 @@ def _cmd_swr(args: argparse.Namespace) -> str:
     rng = random.Random(args.seed)
     items = zipf_stream(args.items, rng, alpha=args.alpha)
     stream = round_robin(items, args.sites)
-    proto = DistributedWeightedSWR(args.sites, args.sample, seed=args.seed)
+    proto = DistributedWeightedSWR(
+        args.sites, args.sample, seed=args.seed, engine=_engine_of(args)
+    )
     counters = proto.run(stream)
     w = stream.total_weight()
     bound = bounds.swr_message_bound(args.sites, args.sample, w)
@@ -136,7 +168,8 @@ def _cmd_hh(args: argparse.Namespace) -> str:
     )
     stream = round_robin(items, args.sites)
     tracker = ResidualHeavyHitterTracker(
-        args.sites, args.eps, delta=args.delta, seed=args.seed
+        args.sites, args.eps, delta=args.delta, seed=args.seed,
+        engine=_engine_of(args),
     )
     counters = tracker.run(stream)
     rows = [
@@ -152,11 +185,23 @@ def _cmd_hh(args: argparse.Namespace) -> str:
 def _cmd_l1(args: argparse.Namespace) -> str:
     items = unit_stream(args.items)
     truth = float(args.items)
+    engine = _engine_of(args)
     rows = []
     trackers = [
-        ("this work", L1Tracker(args.sites, args.eps, args.delta, seed=args.seed)),
-        ("deterministic [14]", DeterministicCounterTracker(args.sites, args.eps)),
-        ("hyz-style [23]", HyzStyleTracker(args.sites, args.eps, seed=args.seed)),
+        (
+            "this work",
+            L1Tracker(
+                args.sites, args.eps, args.delta, seed=args.seed, engine=engine
+            ),
+        ),
+        (
+            "deterministic [14]",
+            DeterministicCounterTracker(args.sites, args.eps, engine=engine),
+        ),
+        (
+            "hyz-style [23]",
+            HyzStyleTracker(args.sites, args.eps, seed=args.seed, engine=engine),
+        ),
     ]
     for name, tracker in trackers:
         counters = tracker.run(round_robin(items, args.sites))
@@ -175,6 +220,7 @@ def _cmd_l1(args: argparse.Namespace) -> str:
 
 
 def _cmd_bounds(args: argparse.Namespace) -> str:
+    _engine_of(args)  # no stream to run, but validate the flags uniformly
     k, s, eps, delta, w = (
         args.sites,
         args.sample,

@@ -8,8 +8,12 @@ from .errors import (
     ReproError,
 )
 from .rng import (
+    HAVE_NUMPY,
+    BatchRandom,
     LazyExponential,
     RandomSource,
+    batch_exponentials,
+    batch_uniforms,
     binomial,
     exponential,
     min_uniform_key_for_weight,
@@ -40,8 +44,12 @@ __all__ = [
     "ProtocolViolationError",
     "DrainedStreamError",
     "RandomSource",
+    "HAVE_NUMPY",
+    "BatchRandom",
     "LazyExponential",
     "exponential",
+    "batch_exponentials",
+    "batch_uniforms",
     "truncated_exponential_below",
     "min_uniform_key_for_weight",
     "binomial",

@@ -23,18 +23,30 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Iterator, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence
+
+try:  # optional: vectorized batch draws for the batched engine
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None  # type: ignore[assignment]
 
 from .errors import ConfigurationError
 
 __all__ = [
+    "HAVE_NUMPY",
     "RandomSource",
+    "BatchRandom",
     "LazyExponential",
     "exponential",
+    "batch_exponentials",
+    "batch_uniforms",
     "min_uniform_key_for_weight",
     "binomial",
     "truncated_exponential_below",
 ]
+
+#: Whether numpy-backed batch primitives are available in this install.
+HAVE_NUMPY = _np is not None
 
 
 class RandomSource:
@@ -87,6 +99,80 @@ def exponential(rng: random.Random, rate: float = 1.0) -> float:
     return -math.log(u) / rate
 
 
+class BatchRandom:
+    """Vectorized companion to a :class:`random.Random` sub-stream.
+
+    The scalar protocol paths draw from :class:`random.Random` one
+    variate at a time; the batched engine needs thousands per call.  A
+    ``BatchRandom`` derives an independent, reproducible numpy generator
+    (PCG64 keyed by 64 bits drawn from the parent stream) so the batch
+    fast path keeps the determinism contract — same root seed, same
+    run — without perturbing the parent stream beyond the one
+    derivation draw.
+
+    Falls back to scalar loops (returning lists) when numpy is absent,
+    so callers can gate vectorized *filtering* on
+    :data:`HAVE_NUMPY` but never need to gate *generation*.
+    """
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._gen = (
+            _np.random.Generator(_np.random.PCG64(rng.getrandbits(64)))
+            if _np is not None
+            else None
+        )
+
+    def exponentials(self, n: int):
+        """``n`` i.i.d. rate-1 exponentials (ndarray, or list sans numpy).
+
+        Values are clamped away from zero so precision-sampling keys
+        ``w/t`` stay finite.
+        """
+        if n < 0:
+            raise ConfigurationError(f"batch size must be >= 0, got {n}")
+        if self._gen is None:
+            return [exponential(self._rng) for _ in range(n)]
+        draws = self._gen.standard_exponential(n)
+        return _np.maximum(draws, 1e-300)
+
+    def uniforms(self, n: int):
+        """``n`` i.i.d. uniforms in ``(0, 1)`` (ndarray, or list)."""
+        if n < 0:
+            raise ConfigurationError(f"batch size must be >= 0, got {n}")
+        if self._gen is None:
+            out: List[float] = []
+            while len(out) < n:
+                u = self._rng.random()
+                if u > 0.0:
+                    out.append(u)
+            return out
+        draws = self._gen.random(n)
+        return _np.maximum(draws, 5e-324)
+
+
+def batch_exponentials(rng: random.Random, n: int, rate: float = 1.0):
+    """Draw ``n`` exponentials with the given rate in one call.
+
+    Functional convenience over :class:`BatchRandom` for one-shot use;
+    repeated callers should hold a ``BatchRandom`` to amortize the
+    generator derivation.
+    """
+    if rate <= 0.0:
+        raise ConfigurationError(f"exponential rate must be positive, got {rate}")
+    draws = BatchRandom(rng).exponentials(n)
+    if rate == 1.0:
+        return draws
+    if _np is not None:
+        return draws / rate
+    return [t / rate for t in draws]
+
+
+def batch_uniforms(rng: random.Random, n: int):
+    """Draw ``n`` uniforms in ``(0, 1)`` in one call."""
+    return BatchRandom(rng).uniforms(n)
+
+
 def truncated_exponential_below(rng: random.Random, bound: float) -> float:
     """Draw ``t ~ Exp(1)`` conditioned on ``t < bound``.
 
@@ -117,7 +203,11 @@ def min_uniform_key_for_weight(rng: random.Random, weight: float) -> float:
     if weight <= 0.0:
         raise ConfigurationError(f"weight must be positive, got {weight}")
     u = rng.random()
-    return -math.expm1(math.log1p(-u) / weight)
+    x = -math.expm1(math.log1p(-u) / weight)
+    # Float-edge guard: for weight < 1 the exponent 1/weight amplifies
+    # log1p(-u), and -expm1 of a large-magnitude argument rounds to
+    # exactly 1.0 — keys must stay strictly inside the unit interval.
+    return min(x, 1.0 - 2.0**-53)
 
 
 def binomial(rng: random.Random, n: int, p: float) -> int:
@@ -231,7 +321,14 @@ class LazyExponential:
         u = self._lo + 0.5 * self._width
         if u <= 0.0:
             u = self._width * 0.5
-        return -math.log(u)
+        t = -math.log(u)
+        if t <= 0.0:
+            # u rounded up to 1.0 at double precision (all revealed
+            # bits were 1): -log collapses to -0.0, which is not a
+            # valid exponential.  -log(u) ~ 1-u near 1, so return the
+            # pinned interval's midpoint distance from 1 instead.
+            t = 0.5 * self._width
+        return t
 
 
 def key_stream(rng: random.Random, weights: Sequence[float]) -> Iterator[float]:

@@ -50,6 +50,7 @@ class SworCoordinator(CoordinatorAlgorithm):
         self.regular_received = 0
         self.regular_accepted = 0
         self.early_received = 0
+        self.early_for_saturated = 0
 
     # -- CoordinatorAlgorithm interface --------------------------------
 
@@ -86,10 +87,19 @@ class SworCoordinator(CoordinatorAlgorithm):
                 "early message received but level sets are disabled"
             )
         key = weight / exponential(self._rng)
-        released = self.levels.add(item, key)
+        level = level_of(weight, self._r)
+        if self.levels.is_saturated(level):
+            # The sender filtered on a stale saturation view (its
+            # LEVEL_SATURATED broadcast is still in flight — possible
+            # under any engine with delayed control delivery).  The item
+            # must not corrupt the released level's set; it competes for
+            # the sample directly with a coordinator-generated key,
+            # exactly as it would have had it been parked and released.
+            self.early_for_saturated += 1
+            return self._add_to_sample(item, key)
+        released = self.levels.add(item, key, level=level)
         if released is None:
             return []
-        level = level_of(weight, self._r)
         responses: List[Tuple[int, Message]] = [
             (BROADCAST, Message(LEVEL_SATURATED, (level,)))
         ]

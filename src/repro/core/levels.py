@@ -20,10 +20,15 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Tuple
 
+try:  # optional: vectorized level computation for the batched fast path
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None  # type: ignore[assignment]
+
 from ..common.errors import ConfigurationError, ProtocolViolationError
 from ..stream.item import Item
 
-__all__ = ["level_of", "LevelSetManager"]
+__all__ = ["level_of", "levels_of_array", "LevelSetManager"]
 
 
 def level_of(weight: float, r: float) -> int:
@@ -44,6 +49,41 @@ def level_of(weight: float, r: float) -> int:
     while j > 0 and r**j > weight:
         j -= 1
     return j
+
+
+def levels_of_array(weights, r: float):
+    """Vectorized :func:`level_of` over a numpy weight array.
+
+    Applies the same float-edge corrections as the scalar version, but
+    as whole-array passes (each pass almost never needs to repeat, so
+    the loops run O(1) iterations in practice).  Requires numpy.
+    """
+    if _np is None:  # pragma: no cover - guarded by callers
+        raise ConfigurationError("levels_of_array requires numpy")
+    if r < 2.0:
+        raise ConfigurationError(f"level base r must be >= 2, got {r}")
+    w = _np.asarray(weights, dtype=_np.float64)
+    bad = ~_np.isfinite(w) | (w <= 0.0)
+    if bad.any():
+        raise ConfigurationError(
+            f"weight must be positive and finite: {float(w[bad][0])}"
+        )
+    levels = _np.zeros(len(w), dtype=_np.int64)
+    big = w >= r
+    if big.any():
+        est = (_np.log(w[big]) / math.log(r)).astype(_np.int64)
+        while True:  # correct log() rounding down across power boundaries
+            low = _np.power(r, est + 1) <= w[big]
+            if not low.any():
+                break
+            est[low] += 1
+        while True:  # ...and rounding up
+            high = (est > 0) & (_np.power(r, est) > w[big])
+            if not high.any():
+                break
+            est[high] -= 1
+        levels[big] = est
+    return levels
 
 
 class LevelSetManager:
@@ -78,14 +118,18 @@ class LevelSetManager:
     def is_saturated(self, level: int) -> bool:
         return level in self._saturated
 
-    def add(self, item: Item, key: float) -> Optional[List[Tuple[Item, float]]]:
+    def add(
+        self, item: Item, key: float, level: Optional[int] = None
+    ) -> Optional[List[Tuple[Item, float]]]:
         """Park an early item (with its pre-generated key) in its level.
 
         Returns the full batch of ``(item, key)`` entries when this
         arrival saturates the level — the caller must then feed them to
         the sampler and broadcast ``LEVEL_SATURATED`` — else ``None``.
+        ``level`` may be passed when the caller already computed it.
         """
-        level = level_of(item.weight, self.r)
+        if level is None:
+            level = level_of(item.weight, self.r)
         if level in self._saturated:
             raise ProtocolViolationError(
                 f"early item for already-saturated level {level} "

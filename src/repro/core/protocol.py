@@ -16,11 +16,12 @@ Wires ``k`` :class:`~repro.core.site.SworSite` instances and a
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 from ..common.rng import RandomSource
 from ..net.counters import MessageCounters
 from ..net.simulator import Network
+from ..runtime import Engine, get_engine
 from ..stream.item import DistributedStream, Item
 from .config import SworConfig
 from .coordinator import SworCoordinator
@@ -39,10 +40,24 @@ class DistributedWeightedSWOR:
         Protocol parameters (``k``, ``s``, level-set knobs).
     seed:
         Root seed; sites and coordinator get independent sub-streams.
+    engine:
+        Execution engine — an :class:`~repro.runtime.Engine` instance,
+        a registry name (``"reference"`` / ``"batched"``), or ``None``
+        for the synchronous reference engine.
+    batch_size:
+        Steady-state batch size when ``engine`` names the batched
+        engine.
     """
 
-    def __init__(self, config: SworConfig, seed: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        config: SworConfig,
+        seed: Optional[int] = None,
+        engine: Union[str, Engine, None] = None,
+        batch_size: Optional[int] = None,
+    ) -> None:
         self.config = config
+        self.engine = get_engine(engine, batch_size=batch_size)
         source = RandomSource(seed)
         self.sites = [
             SworSite(i, config, source.substream(f"site-{i}"))
@@ -61,8 +76,10 @@ class DistributedWeightedSWOR:
         """Replay a whole distributed stream; returns message counters.
 
         Keyword arguments are forwarded to
-        :meth:`repro.net.simulator.Network.run` (checkpoints etc.).
+        :meth:`repro.runtime.network.Network.run` (checkpoints etc.);
+        the facade's configured engine is used unless overridden.
         """
+        kwargs.setdefault("engine", self.engine)
         return self.network.run(stream, **kwargs)
 
     # -- queries ----------------------------------------------------------

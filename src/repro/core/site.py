@@ -18,15 +18,20 @@ from __future__ import annotations
 
 import math
 import random
-from typing import List
+from typing import List, Optional, Sequence
+
+try:  # optional: the vectorized bulk path of the batched engine
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None  # type: ignore[assignment]
 
 from ..common.errors import ProtocolViolationError
-from ..common.rng import LazyExponential, exponential
+from ..common.rng import BatchRandom, LazyExponential, exponential
 from ..net.messages import EARLY, EPOCH_UPDATE, LEVEL_SATURATED, Message, REGULAR
 from ..net.simulator import SiteAlgorithm
 from ..stream.item import Item
 from .config import SworConfig
-from .levels import level_of
+from .levels import level_of, levels_of_array
 
 __all__ = ["SworSite"]
 
@@ -53,6 +58,7 @@ class SworSite(SiteAlgorithm):
         # any realistic W since levels top out at log_r(W).
         self._saturated_mask = 0
         self._threshold = 0.0  # u_i, last announced epoch floor r^j
+        self._batch_rng: Optional[BatchRandom] = None
         self.items_seen = 0
         self.exponentials_generated = 0
         self.bits_generated = 0
@@ -69,6 +75,62 @@ class SworSite(SiteAlgorithm):
         if self.config.count_bits:
             return self._regular_lazy(item)
         return self._regular_fast(item)
+
+    def on_items(self, items: Sequence[Item]) -> List[Message]:
+        """Vectorized Algorithm 1 over a batch of arrivals.
+
+        One numpy pass replaces the per-item interpreter dispatch: the
+        whole batch's levels are computed at once, the saturation
+        bitmask is applied as a table lookup, and all regular keys come
+        from a single batch exponential draw filtered against the epoch
+        threshold.  Item objects are touched only for arrivals that
+        actually produce a message.
+
+        Falls back to the scalar path for single-item batches (keeping
+        batch size 1 bit-identical to the reference engine), when numpy
+        is unavailable, and in ``count_bits`` mode (bit-by-bit
+        generation is inherently sequential).
+        """
+        n = len(items)
+        if n <= 1 or _np is None or self.config.count_bits:
+            return SiteAlgorithm.on_items(self, items)
+        weights = getattr(items, "weights", None)
+        if weights is None:
+            weights = _np.fromiter(
+                (item.weight for item in items), dtype=_np.float64, count=n
+            )
+        self.items_seen += n
+        out: List[Message] = []
+        regular_idx = None
+        if self.config.level_sets_enabled:
+            levels = levels_of_array(weights, self._r)
+            mask = self._saturated_mask
+            if mask:
+                table = _np.fromiter(
+                    ((mask >> j) & 1 for j in range(int(levels.max()) + 1)),
+                    dtype=_np.bool_,
+                )
+                early = ~table[levels]
+            else:
+                early = _np.ones(n, dtype=_np.bool_)
+            for i in _np.flatnonzero(early):
+                item = items[int(i)]
+                out.append(Message(EARLY, (item.ident, item.weight)))
+            regular_idx = _np.flatnonzero(~early)
+            if len(regular_idx) == 0:
+                return out
+            weights = weights[regular_idx]
+        if self._batch_rng is None:
+            self._batch_rng = BatchRandom(self._rng)
+        draws = self._batch_rng.exponentials(len(weights))
+        self.exponentials_generated += len(weights)
+        keys = weights / draws
+        for j in _np.flatnonzero(keys > self._threshold):
+            j = int(j)
+            i = j if regular_idx is None else int(regular_idx[j])
+            item = items[i]
+            out.append(Message(REGULAR, (item.ident, item.weight, float(keys[j]))))
+        return out
 
     def on_control(self, message: Message) -> None:
         """Handle ``LEVEL_SATURATED`` / ``EPOCH_UPDATE`` broadcasts."""

@@ -25,13 +25,14 @@ from __future__ import annotations
 
 import math
 import random
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 from ..common.errors import ConfigurationError, ProtocolViolationError
 from ..common.rng import RandomSource, binomial
 from ..net.counters import MessageCounters
 from ..net.messages import Message, ROUND_UPDATE, SWR_SAMPLE
 from ..net.simulator import BROADCAST, CoordinatorAlgorithm, Network, SiteAlgorithm
+from ..runtime import Engine, get_engine
 from ..stream.item import DistributedStream, Item
 
 __all__ = ["DistributedWeightedSWR"]
@@ -147,16 +148,25 @@ class DistributedWeightedSWR:
         ``k`` and ``s``.
     seed:
         Root seed for site/coordinator sub-streams.
+    engine / batch_size:
+        Execution engine selection (name or instance; see
+        :func:`repro.runtime.get_engine`).
     """
 
     def __init__(
-        self, num_sites: int, sample_size: int, seed: Optional[int] = None
+        self,
+        num_sites: int,
+        sample_size: int,
+        seed: Optional[int] = None,
+        engine: Union[str, Engine, None] = None,
+        batch_size: Optional[int] = None,
     ) -> None:
         if num_sites <= 0 or sample_size <= 0:
             raise ConfigurationError("num_sites and sample_size must be positive")
         self.num_sites = num_sites
         self.sample_size = sample_size
         self.beta = 2.0 + num_sites / sample_size
+        self.engine = get_engine(engine, batch_size=batch_size)
         source = RandomSource(seed)
         self.sites = [
             _SwrSite(sample_size, source.substream(f"swr-site-{i}"))
@@ -167,6 +177,7 @@ class DistributedWeightedSWR:
 
     def run(self, stream: DistributedStream, **kwargs) -> MessageCounters:
         """Replay a distributed stream; returns message counters."""
+        kwargs.setdefault("engine", self.engine)
         return self.network.run(stream, **kwargs)
 
     def process(self, site_id: int, item: Item) -> None:

@@ -16,13 +16,19 @@ from __future__ import annotations
 import heapq
 import math
 import random
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
+
+try:  # optional: vectorized bulk path for the batched engine
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None  # type: ignore[assignment]
 
 from ..common.errors import ConfigurationError, ProtocolViolationError
-from ..common.rng import RandomSource
+from ..common.rng import BatchRandom, RandomSource
 from ..net.counters import MessageCounters
 from ..net.messages import Message, REGULAR, ROUND_UPDATE
 from ..net.simulator import BROADCAST, CoordinatorAlgorithm, Network, SiteAlgorithm
+from ..runtime import Engine, get_engine
 from ..stream.item import DistributedStream, Item
 
 __all__ = ["DistributedUnweightedSWOR"]
@@ -34,6 +40,7 @@ class _UnweightedSite(SiteAlgorithm):
     def __init__(self, config: "DistributedUnweightedSWOR", rng: random.Random):
         self._rng = rng
         self._threshold = 1.0  # keys live in (0,1); start unfiltered
+        self._batch_rng = None
         self.items_seen = 0
 
     def on_item(self, item: Item) -> List[Message]:
@@ -44,6 +51,23 @@ class _UnweightedSite(SiteAlgorithm):
         if key < self._threshold:
             return [Message(REGULAR, (item.ident, item.weight, key))]
         return []
+
+    def on_items(self, items: Sequence[Item]) -> List[Message]:
+        """Bulk path: one uniform batch draw, filtered against the
+        (possibly one-batch-stale) round threshold; the coordinator's
+        top-``s`` heap discards any extra passes."""
+        n = len(items)
+        if n <= 1 or _np is None:
+            return SiteAlgorithm.on_items(self, items)
+        self.items_seen += n
+        if self._batch_rng is None:
+            self._batch_rng = BatchRandom(self._rng)
+        keys = self._batch_rng.uniforms(n)
+        out: List[Message] = []
+        for i in _np.flatnonzero(keys < self._threshold):
+            item = items[int(i)]
+            out.append(Message(REGULAR, (item.ident, item.weight, float(keys[i]))))
+        return out
 
     def on_control(self, message: Message) -> None:
         if message.kind != ROUND_UPDATE:
@@ -113,13 +137,19 @@ class DistributedUnweightedSWOR:
     """Facade mirroring :class:`~repro.core.protocol.DistributedWeightedSWOR`."""
 
     def __init__(
-        self, num_sites: int, sample_size: int, seed: Optional[int] = None
+        self,
+        num_sites: int,
+        sample_size: int,
+        seed: Optional[int] = None,
+        engine: Union[str, Engine, None] = None,
+        batch_size: Optional[int] = None,
     ) -> None:
         if num_sites <= 0 or sample_size <= 0:
             raise ConfigurationError("num_sites and sample_size must be positive")
         self.num_sites = num_sites
         self.sample_size = sample_size
         self.r = max(2.0, num_sites / sample_size)
+        self.engine = get_engine(engine, batch_size=batch_size)
         source = RandomSource(seed)
         self.sites = [
             _UnweightedSite(self, source.substream(f"usite-{i}"))
@@ -130,6 +160,7 @@ class DistributedUnweightedSWOR:
 
     def run(self, stream: DistributedStream, **kwargs) -> MessageCounters:
         """Replay a distributed stream; returns message counters."""
+        kwargs.setdefault("engine", self.engine)
         return self.network.run(stream, **kwargs)
 
     def process(self, site_id: int, item: Item) -> None:

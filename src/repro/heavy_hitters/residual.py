@@ -16,12 +16,13 @@ the top ``2/eps`` sampled items by weight.
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import List, Optional, Union
 
 from ..common.errors import ConfigurationError
 from ..core.config import SworConfig
 from ..core.protocol import DistributedWeightedSWOR
 from ..net.counters import MessageCounters
+from ..runtime import Engine
 from ..stream.item import DistributedStream, Item
 
 __all__ = ["ResidualHeavyHitterTracker", "theorem4_sample_size"]
@@ -51,6 +52,9 @@ class ResidualHeavyHitterTracker:
         Root seed for the underlying SWOR protocol.
     sample_size_override:
         Use a custom ``s`` instead of Theorem 4's (for ablations).
+    engine / batch_size:
+        Execution engine selection, forwarded to the underlying SWOR
+        protocol (see :func:`repro.runtime.get_engine`).
     """
 
     def __init__(
@@ -60,6 +64,8 @@ class ResidualHeavyHitterTracker:
         delta: float = 0.05,
         seed: Optional[int] = None,
         sample_size_override: Optional[int] = None,
+        engine: Union[str, Engine, None] = None,
+        batch_size: Optional[int] = None,
     ) -> None:
         if not 0 < eps < 1:
             raise ConfigurationError(f"eps must be in (0,1), got {eps}")
@@ -73,6 +79,8 @@ class ResidualHeavyHitterTracker:
         self._swor = DistributedWeightedSWOR(
             SworConfig(num_sites=num_sites, sample_size=self.sample_size),
             seed=seed,
+            engine=engine,
+            batch_size=batch_size,
         )
 
     # -- stream processing -------------------------------------------

@@ -23,13 +23,14 @@ from __future__ import annotations
 
 import math
 import random
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 from ..common.errors import ConfigurationError, ProtocolViolationError
 from ..common.rng import RandomSource
 from ..net.counters import MessageCounters
 from ..net.messages import COUNT_REPORT, ESTIMATE_BROADCAST, Message
 from ..net.simulator import BROADCAST, CoordinatorAlgorithm, Network, SiteAlgorithm
+from ..runtime import Engine, get_engine
 from ..stream.item import DistributedStream, Item
 
 __all__ = ["DeterministicCounterTracker", "HyzStyleTracker"]
@@ -78,18 +79,27 @@ class _SumCoordinator(CoordinatorAlgorithm):
 class DeterministicCounterTracker:
     """Always-correct ``(1±eps)`` L1 tracker with ``O(k·logW/eps)`` messages."""
 
-    def __init__(self, num_sites: int, eps: float, seed: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        num_sites: int,
+        eps: float,
+        seed: Optional[int] = None,
+        engine: Union[str, Engine, None] = None,
+        batch_size: Optional[int] = None,
+    ) -> None:
         if num_sites <= 0:
             raise ConfigurationError(f"num_sites must be positive, got {num_sites}")
         if not 0 < eps < 1:
             raise ConfigurationError(f"eps must be in (0,1), got {eps}")
         self.num_sites = num_sites
         self.eps = eps
+        self.engine = get_engine(engine, batch_size=batch_size)
         self.sites = [_DeterministicSite(eps) for _ in range(num_sites)]
         self.coordinator = _SumCoordinator(num_sites)
         self.network = Network(self.sites, self.coordinator)
 
     def run(self, stream: DistributedStream, **kwargs) -> MessageCounters:
+        kwargs.setdefault("engine", self.engine)
         return self.network.run(stream, **kwargs)
 
     def process(self, site_id: int, item: Item) -> None:
@@ -190,13 +200,21 @@ class _HyzCoordinator(CoordinatorAlgorithm):
 class HyzStyleTracker:
     """Randomized ``O((k + sqrt(k)/eps)·logW)``-message L1 tracker [23]."""
 
-    def __init__(self, num_sites: int, eps: float, seed: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        num_sites: int,
+        eps: float,
+        seed: Optional[int] = None,
+        engine: Union[str, Engine, None] = None,
+        batch_size: Optional[int] = None,
+    ) -> None:
         if num_sites <= 0:
             raise ConfigurationError(f"num_sites must be positive, got {num_sites}")
         if not 0 < eps < 1:
             raise ConfigurationError(f"eps must be in (0,1), got {eps}")
         self.num_sites = num_sites
         self.eps = eps
+        self.engine = get_engine(engine, batch_size=batch_size)
         source = RandomSource(seed)
         self.sites = [
             _HyzSite(source.substream(f"hyz-site-{i}")) for i in range(num_sites)
@@ -205,6 +223,7 @@ class HyzStyleTracker:
         self.network = Network(self.sites, self.coordinator)
 
     def run(self, stream: DistributedStream, **kwargs) -> MessageCounters:
+        kwargs.setdefault("engine", self.engine)
         return self.network.run(stream, **kwargs)
 
     def process(self, site_id: int, item: Item) -> None:

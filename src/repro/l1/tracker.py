@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple, Union
 
 from ..common.errors import ConfigurationError, ProtocolViolationError
 from ..common.rng import RandomSource, exponential, truncated_exponential_below
@@ -39,6 +39,7 @@ from ..core.sample_set import TopKeySample
 from ..net.counters import MessageCounters
 from ..net.messages import EPOCH_UPDATE, Message, REGULAR
 from ..net.simulator import BROADCAST, CoordinatorAlgorithm, Network, SiteAlgorithm
+from ..runtime import Engine, get_engine
 from ..stream.item import DistributedStream, Item
 
 __all__ = ["L1Tracker", "theorem6_sample_size", "theorem6_duplication"]
@@ -185,6 +186,13 @@ class L1Tracker:
         Root seed.
     sample_size_override / duplication_override:
         Replace the Theorem 6 settings (used by scaled-down tests).
+    engine / batch_size:
+        Execution engine selection (name or instance; see
+        :func:`repro.runtime.get_engine`).  Under the batched engine
+        the site's duplicate generator materializes per batch against a
+        batch-stale threshold, so early batches may forward more copies
+        than the synchronous round model; the coordinator's top-``s``
+        filter discards them without biasing the estimator.
     """
 
     def __init__(
@@ -195,6 +203,8 @@ class L1Tracker:
         seed: Optional[int] = None,
         sample_size_override: Optional[int] = None,
         duplication_override: Optional[int] = None,
+        engine: Union[str, Engine, None] = None,
+        batch_size: Optional[int] = None,
     ) -> None:
         if num_sites <= 0:
             raise ConfigurationError(f"num_sites must be positive, got {num_sites}")
@@ -214,6 +224,7 @@ class L1Tracker:
             else theorem6_duplication(self.sample_size, eps)
         )
         self.r = max(2.0, num_sites / self.sample_size)
+        self.engine = get_engine(engine, batch_size=batch_size)
         source = RandomSource(seed)
         self.sites = [
             _L1Site(self.duplication, source.substream(f"l1-site-{i}"))
@@ -228,6 +239,7 @@ class L1Tracker:
 
     def run(self, stream: DistributedStream, **kwargs) -> MessageCounters:
         """Replay a whole distributed stream."""
+        kwargs.setdefault("engine", self.engine)
         return self.network.run(stream, **kwargs)
 
     def estimate(self) -> float:

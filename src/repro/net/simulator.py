@@ -1,168 +1,35 @@
-"""Synchronous coordinator/sites driver (the model of Section 2.1).
+"""Coordinator/sites driver — compatibility re-exports from ``repro.runtime``.
 
-The continuous distributed streaming model: ``k`` sites each observe a
-local stream; in each round a site may observe one item, send messages
-to the coordinator, and receive a response before the next arrival.
-FIFO order, no loss, no crashes.  Message count is the cost.
+Historically this module owned the single, strictly synchronous driver.
+Execution strategy is now a first-class abstraction in
+:mod:`repro.runtime`, with two engines behind a common interface:
 
-This driver replays a :class:`~repro.stream.item.DistributedStream` in
-global arrival order, delivering each site's upstream messages to the
-coordinator immediately and the coordinator's responses (possibly
-broadcasts) back before the next item — the synchrony the paper assumes.
-Every message passes through :class:`~repro.net.counters.MessageCounters`.
+* **reference** (:class:`repro.runtime.ReferenceEngine`) — the model of
+  Section 2.1: ``k`` sites each observe a local stream; in each round a
+  site may observe one item, send messages to the coordinator, and
+  receive a response before the next arrival.  FIFO order, no loss, no
+  crashes; message count is the cost.  This is the historical
+  ``Network.run`` behavior, preserved bit for bit on golden seeds.
 
-Protocol implementations plug in via two small interfaces,
-:class:`SiteAlgorithm` and :class:`CoordinatorAlgorithm`.
+* **batched** (:class:`repro.runtime.BatchedEngine`) — arrivals are
+  processed in chunks: sites vectorize per-batch key generation through
+  the bulk hook ``on_items``, upstream messages flush to the
+  coordinator per batch, and control broadcasts (``EPOCH_UPDATE`` /
+  ``LEVEL_SATURATED``) take effect at batch boundaries.  Sites then
+  filter on *stale* (smaller) thresholds, which only produces extra
+  messages that the coordinator re-checks and discards — the sample
+  distribution is preserved exactly, at a bounded message overhead.
+
+Both engines replay a :class:`~repro.stream.item.DistributedStream` in
+global arrival order and pass every message through
+:class:`~repro.net.counters.MessageCounters`.  Protocol implementations
+plug in via :class:`SiteAlgorithm` and :class:`CoordinatorAlgorithm`;
+all four names below are re-exports and remain API-compatible.
 """
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
-
-from ..common.errors import ConfigurationError
-from ..stream.item import DistributedStream, Item
-from .counters import MessageCounters
-from .messages import Message
+from ..runtime.interfaces import BROADCAST, CoordinatorAlgorithm, SiteAlgorithm
+from ..runtime.network import Network
 
 __all__ = ["SiteAlgorithm", "CoordinatorAlgorithm", "BROADCAST", "Network"]
-
-#: Destination constant: deliver to every site (costs ``k`` messages).
-BROADCAST = -1
-
-
-class SiteAlgorithm(ABC):
-    """Per-site half of a distributed protocol."""
-
-    @abstractmethod
-    def on_item(self, item: Item) -> List[Message]:
-        """Observe one local arrival; return upstream messages (maybe [])."""
-
-    @abstractmethod
-    def on_control(self, message: Message) -> None:
-        """Receive a downstream control message from the coordinator."""
-
-    def state_words(self) -> int:
-        """Approximate persistent state size in machine words.
-
-        Default implementation counts nothing; protocol sites override
-        so experiment E12 can check the O(1)-words claim.
-        """
-        return 0
-
-
-class CoordinatorAlgorithm(ABC):
-    """Coordinator half of a distributed protocol."""
-
-    @abstractmethod
-    def on_message(
-        self, site_id: int, message: Message
-    ) -> List[Tuple[int, Message]]:
-        """Handle one upstream message.
-
-        Returns a list of ``(destination, message)`` responses, where
-        destination is a site index or :data:`BROADCAST`.
-        """
-
-    def state_words(self) -> int:
-        """Approximate persistent state size in machine words."""
-        return 0
-
-
-class Network:
-    """Wires ``k`` site instances and a coordinator, counting messages.
-
-    Parameters
-    ----------
-    sites:
-        One :class:`SiteAlgorithm` per site.
-    coordinator:
-        The :class:`CoordinatorAlgorithm`.
-    counters:
-        Optional externally-owned counters (a fresh one is created
-        otherwise).
-    """
-
-    def __init__(
-        self,
-        sites: Sequence[SiteAlgorithm],
-        coordinator: CoordinatorAlgorithm,
-        counters: Optional[MessageCounters] = None,
-    ) -> None:
-        if not sites:
-            raise ConfigurationError("need at least one site")
-        self.sites: List[SiteAlgorithm] = list(sites)
-        self.coordinator = coordinator
-        self.counters = counters if counters is not None else MessageCounters()
-        self.items_processed = 0
-
-    @property
-    def num_sites(self) -> int:
-        return len(self.sites)
-
-    def deliver_upstream(self, site_id: int, message: Message) -> None:
-        """Deliver one site message to the coordinator, then fan out the
-        coordinator's responses synchronously."""
-        self.counters.record_upstream(message)
-        responses = self.coordinator.on_message(site_id, message)
-        for dest, response in responses:
-            self.deliver_downstream(dest, response)
-
-    def deliver_downstream(self, dest: int, message: Message) -> None:
-        """Deliver a coordinator response to one site or to all sites."""
-        if dest == BROADCAST:
-            self.counters.record_downstream(message, copies=self.num_sites)
-            for site in self.sites:
-                site.on_control(message)
-            return
-        if not 0 <= dest < self.num_sites:
-            raise ConfigurationError(f"destination site {dest} out of range")
-        self.counters.record_downstream(message, copies=1)
-        self.sites[dest].on_control(message)
-
-    def step(self, site_id: int, item: Item) -> None:
-        """Process one arrival at one site (one model round)."""
-        messages = self.sites[site_id].on_item(item)
-        for message in messages:
-            self.deliver_upstream(site_id, message)
-        self.items_processed += 1
-
-    def run(
-        self,
-        stream: DistributedStream,
-        on_step: Optional[Callable[[int], None]] = None,
-        checkpoints: Optional[Iterable[int]] = None,
-        on_checkpoint: Optional[Callable[[int], None]] = None,
-    ) -> MessageCounters:
-        """Replay a full distributed stream in global arrival order.
-
-        Parameters
-        ----------
-        stream:
-            The distributed stream to replay.
-        on_step:
-            Optional callback invoked after *every* item with the number
-            of items processed so far.
-        checkpoints / on_checkpoint:
-            When both given, ``on_checkpoint(t)`` fires after processing
-            item ``t`` (1-indexed) for each ``t`` in ``checkpoints`` —
-            used by the accuracy experiments to query the coordinator at
-            fixed times.
-        """
-        if stream.num_sites != self.num_sites:
-            raise ConfigurationError(
-                f"stream has {stream.num_sites} sites, network has {self.num_sites}"
-            )
-        checkset = set(checkpoints) if checkpoints is not None else None
-        for site_id, item in stream:
-            self.step(site_id, item)
-            t = self.items_processed
-            if on_step is not None:
-                on_step(t)
-            if checkset is not None and on_checkpoint is not None and t in checkset:
-                on_checkpoint(t)
-        return self.counters
-
-    def site_state_words(self) -> List[int]:
-        """Per-site persistent state, in words (experiment E12)."""
-        return [site.state_words() for site in self.sites]

@@ -1,0 +1,56 @@
+"""The execution-engine abstraction.
+
+An :class:`Engine` decides *how* a :class:`~repro.runtime.network.Network`
+replays a :class:`~repro.stream.item.DistributedStream`: per-item or in
+batches, with synchronous or boundary-deferred control propagation.  The
+protocol state machines never see the engine — they only see their
+``on_item`` / ``on_items`` / ``on_control`` / ``on_message`` hooks fire
+in some order, and every engine routes messages through the network's
+delivery primitives so counters and traces stay comparable across
+engines.
+
+Two engines ship with the package:
+
+* :class:`~repro.runtime.reference.ReferenceEngine` — the paper's
+  strictly synchronous round model (Section 2.1);
+* :class:`~repro.runtime.batched.BatchedEngine` — a vectorized fast
+  path with bounded-staleness control propagation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..net.counters import MessageCounters
+    from ..stream.item import DistributedStream
+    from .network import Network
+
+__all__ = ["Engine"]
+
+
+class Engine(ABC):
+    """An execution strategy for replaying a stream through a network."""
+
+    #: Registry name (``"reference"``, ``"batched"``, ...).
+    name: str = "abstract"
+
+    @abstractmethod
+    def run(
+        self,
+        network: "Network",
+        stream: "DistributedStream",
+        on_step: Optional[Callable[[int], None]] = None,
+        checkpoints: Optional[Iterable[int]] = None,
+        on_checkpoint: Optional[Callable[[int], None]] = None,
+    ) -> "MessageCounters":
+        """Replay ``stream`` through ``network``; return its counters.
+
+        Implementations must process items in global arrival order (or a
+        batching thereof), keep ``network.items_processed`` current, and
+        fire ``on_checkpoint(t)`` exactly at each requested ``t``.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"

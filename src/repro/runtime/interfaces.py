@@ -1,0 +1,88 @@
+"""Protocol interfaces shared by every runtime engine.
+
+A distributed protocol is a pair of small state machines: one
+:class:`SiteAlgorithm` per site and one :class:`CoordinatorAlgorithm`.
+Engines (see :mod:`repro.runtime.base`) decide *when* each half runs and
+*when* messages move; the interfaces themselves are engine-agnostic.
+
+Sites expose two granularities:
+
+* :meth:`SiteAlgorithm.on_item` — one arrival, the paper's round model;
+* :meth:`SiteAlgorithm.on_items` — a *batch* of arrivals, used by the
+  batched engine.  The default implementation just loops ``on_item``;
+  protocol sites may override it with a vectorized bulk path (e.g.
+  :meth:`repro.core.site.SworSite.on_items` draws all of a batch's
+  exponentials in one numpy call).
+
+This module deliberately imports nothing from :mod:`repro.net` so that
+``repro.runtime`` and ``repro.net`` can re-export each other's names
+without an import cycle (messages/counters only appear in annotations).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, List, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..net.messages import Message
+    from ..stream.item import Item
+
+__all__ = ["BROADCAST", "SiteAlgorithm", "CoordinatorAlgorithm"]
+
+#: Destination constant: deliver to every site (costs ``k`` messages).
+BROADCAST = -1
+
+
+class SiteAlgorithm(ABC):
+    """Per-site half of a distributed protocol."""
+
+    @abstractmethod
+    def on_item(self, item: "Item") -> List["Message"]:
+        """Observe one local arrival; return upstream messages (maybe [])."""
+
+    def on_items(self, items: Sequence["Item"]) -> List["Message"]:
+        """Observe a batch of local arrivals; return upstream messages.
+
+        Bulk hook used by the batched engine.  The default delegates to
+        :meth:`on_item` per item, preserving each item's message order.
+        A single-item batch returns ``on_item``'s result *unmaterialized*
+        (it may be a lazy iterator, as for the L1 site), so a batch size
+        of one reproduces the reference engine exactly.
+        """
+        if len(items) == 1:
+            return self.on_item(items[0])
+        out: List["Message"] = []
+        for item in items:
+            out.extend(self.on_item(item))
+        return out
+
+    @abstractmethod
+    def on_control(self, message: "Message") -> None:
+        """Receive a downstream control message from the coordinator."""
+
+    def state_words(self) -> int:
+        """Approximate persistent state size in machine words.
+
+        Default implementation counts nothing; protocol sites override
+        so experiment E12 can check the O(1)-words claim.
+        """
+        return 0
+
+
+class CoordinatorAlgorithm(ABC):
+    """Coordinator half of a distributed protocol."""
+
+    @abstractmethod
+    def on_message(
+        self, site_id: int, message: "Message"
+    ) -> List[Tuple[int, "Message"]]:
+        """Handle one upstream message.
+
+        Returns a list of ``(destination, message)`` responses, where
+        destination is a site index or :data:`BROADCAST`.
+        """
+
+    def state_words(self) -> int:
+        """Approximate persistent state size in machine words."""
+        return 0

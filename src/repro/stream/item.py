@@ -10,7 +10,12 @@ site assignment, which is exactly what the simulator replays.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Iterator, List, NamedTuple, Sequence, Tuple
+from typing import Iterable, Iterator, List, NamedTuple, Optional, Sequence, Tuple
+
+try:  # optional: backs the batched engine's vectorized fast path
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None  # type: ignore[assignment]
 
 from ..common.errors import ConfigurationError, InvalidWeightError
 
@@ -90,6 +95,7 @@ class DistributedStream:
         self._items: List[Item] = list(items)
         self._assignment: List[int] = list(assignment)
         self.num_sites = num_sites
+        self._arrays: Optional[Tuple] = None
 
     def __len__(self) -> int:
         return len(self._items)
@@ -121,6 +127,42 @@ class DistributedStream:
             acc += item.weight
             out.append(acc)
         return out
+
+    def iter_batches(
+        self, batch_size: int
+    ) -> Iterator[Tuple[List[int], List[Item]]]:
+        """Yield ``(sites, items)`` chunk pairs in global arrival order.
+
+        Chunked iteration for batch-oriented consumers: each yielded
+        pair holds ``batch_size`` consecutive arrivals (the final chunk
+        may be shorter), with ``sites[i]`` the site receiving
+        ``items[i]``.
+        """
+        if batch_size <= 0:
+            raise ConfigurationError(
+                f"batch_size must be positive, got {batch_size}"
+            )
+        for lo in range(0, len(self._items), batch_size):
+            hi = lo + batch_size
+            yield self._assignment[lo:hi], self._items[lo:hi]
+
+    def arrays(self) -> Optional[Tuple]:
+        """``(assignment, weights)`` as numpy arrays, built once and
+        cached — the structure-of-arrays view the batched engine slices
+        per batch.  Returns ``None`` when numpy is unavailable."""
+        if _np is None:
+            return None
+        if self._arrays is None:
+            n = len(self._items)
+            self._arrays = (
+                _np.asarray(self._assignment, dtype=_np.int64),
+                _np.fromiter(
+                    (item.weight for item in self._items),
+                    dtype=_np.float64,
+                    count=n,
+                ),
+            )
+        return self._arrays
 
     def local_streams(self) -> List[List[Item]]:
         """Items per site, each in arrival order (the ``S_i`` views)."""

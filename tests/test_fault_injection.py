@@ -50,15 +50,37 @@ class TestSiteFaults:
 
 
 class TestCoordinatorFaults:
-    def test_desynced_saturation_state_detected(self):
-        """A site that keeps sending early messages for a saturated
-        level (lost broadcast) is detected by the coordinator."""
+    def test_stale_early_for_saturated_level_folded_in(self):
+        """A site may still send EARLY for a saturated level while the
+        LEVEL_SATURATED broadcast is in flight (delayed control
+        delivery, e.g. under the batched engine).  The coordinator must
+        not corrupt level-set state: it generates the key itself and
+        folds the item straight into the sample."""
         cfg = SworConfig(num_sites=2, sample_size=1, level_set_factor=0.5)
         coord = SworCoordinator(cfg, random.Random(2))
         # saturation_size = 0.5 * 2 * 1 = 1: first early item saturates.
         coord.on_message(0, Message(EARLY, (0, 1.0)))
-        with pytest.raises(ProtocolViolationError, match="out of sync"):
-            coord.on_message(1, Message(EARLY, (1, 1.0)))
+        saturated_before = set(coord.levels.saturated_levels)
+        coord.on_message(1, Message(EARLY, (1, 1.0)))
+        assert coord.early_for_saturated == 1
+        assert coord.levels.saturated_levels == saturated_before
+        assert coord.levels.pending_count() == 0  # not re-parked
+        # Both items competed for the single slot with independent keys.
+        assert {item.ident for item, _ in coord.sample_with_keys()} <= {0, 1}
+
+    def test_stale_early_respects_sample_threshold(self):
+        """The folded-in item goes through Add-to-Sample: a key below
+        the current threshold is discarded, not force-inserted."""
+        cfg = SworConfig(num_sites=2, sample_size=1, level_set_factor=0.5)
+        coord = SworCoordinator(cfg, random.Random(3))
+        coord.on_message(0, Message(EARLY, (0, 1.0)))
+        before = coord.threshold
+        # A stale early item with a vanishing weight (key ~ 1e-9/Exp)
+        # loses to the incumbent: discarded, threshold untouched.
+        coord.on_message(1, Message(EARLY, (1, 1e-9)))
+        assert coord.early_for_saturated == 1
+        assert [item.ident for item in coord.sample()] == [0]
+        assert coord.threshold == before
 
     def test_unknown_message_kind_rejected(self):
         cfg = SworConfig(num_sites=2, sample_size=1)
