@@ -9,7 +9,6 @@ exhaustive recursion) via total-variation distance and chi-square.
 
 from __future__ import annotations
 
-import random
 from collections import Counter
 
 from repro.analysis import format_table

@@ -49,6 +49,7 @@ from .l1 import (
     theorem6_sample_size,
 )
 from .net import MessageCounters, Network
+from .query import Estimate, MultiQueryDriver, QueryCatalog
 from .runtime import BatchedEngine, Engine, ReferenceEngine, get_engine
 from .stream import DistributedStream, Item
 
@@ -87,4 +88,8 @@ __all__ = [
     "theorem6_duplication",
     "DeterministicCounterTracker",
     "HyzStyleTracker",
+    # query & estimation subsystem
+    "Estimate",
+    "QueryCatalog",
+    "MultiQueryDriver",
 ]

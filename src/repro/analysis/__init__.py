@@ -2,6 +2,7 @@
 
 from . import bounds
 from .experiments import (
+    estimator_accuracy,
     inclusion_frequencies,
     messages_vs_sample_size,
     messages_vs_sites,
@@ -16,6 +17,7 @@ __all__ = [
     "CertificationResult",
     "certify_swor",
     "run_swor_once",
+    "estimator_accuracy",
     "messages_vs_weight",
     "messages_vs_sites",
     "messages_vs_sample_size",

@@ -10,9 +10,8 @@ roughly flat across the sweep.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
-from ..common.rng import RandomSource
 from ..core.config import SworConfig
 from ..core.naive import PerSiteTopS
 from ..core.protocol import DistributedWeightedSWOR
@@ -27,6 +26,7 @@ __all__ = [
     "messages_vs_sites",
     "messages_vs_sample_size",
     "inclusion_frequencies",
+    "estimator_accuracy",
 ]
 
 
@@ -175,6 +175,67 @@ def messages_vs_sample_size(
                 row["naive_over_ours"] = ncount.total / max(row["messages"], 1)
             reps_rows.append(row)
         rows.append(_mean_rows(reps_rows))
+    return rows
+
+
+def estimator_accuracy(
+    items: Sequence[Item],
+    k: int,
+    sample_steps: Sequence[int],
+    predicate: Callable[[Item], bool],
+    trials: int = 25,
+    base_seed: int = 0,
+    confidence: float = 0.95,
+    engine: Union[str, Engine, None] = None,
+    batch_size: Optional[int] = None,
+) -> List[Dict[str, float]]:
+    """Accuracy sweep of the HT subset-sum estimator vs sample size.
+
+    For each ``s`` the Theorem 3 protocol runs ``trials`` times (fresh
+    seeds, same stream) and the live sample is queried through
+    :func:`repro.query.estimators.subset_sum`.  Rows report the mean
+    relative error, RMSE, empirical CI coverage against the nominal
+    ``confidence``, and mean relative CI width — the quantities the
+    estimator-quality claims are judged on.
+    """
+    from ..query.estimators import subset_sum
+
+    truth = sum(item.weight for item in items if predicate(item))
+    stream = round_robin(items, k)
+    rows = []
+    for s in sample_steps:
+        cfg = SworConfig(num_sites=k, sample_size=s)
+        errs: List[float] = []
+        sq_errs: List[float] = []
+        widths: List[float] = []
+        covered = 0
+        for trial in range(trials):
+            proto = DistributedWeightedSWOR(
+                cfg,
+                seed=base_seed * 10007 + s * 101 + trial,
+                engine=engine,
+                batch_size=batch_size,
+            )
+            proto.run(stream)
+            estimate = subset_sum(
+                proto.sample_with_keys(), s, predicate, confidence
+            )
+            errs.append(estimate.rel_error(truth))
+            sq_errs.append((estimate.value - truth) ** 2)
+            widths.append(estimate.ci_width / truth if truth else 0.0)
+            covered += estimate.covers(truth)
+        rows.append(
+            {
+                "s": s,
+                "trials": trials,
+                "truth": truth,
+                "mean_rel_err": sum(errs) / trials,
+                "rmse": (sum(sq_errs) / trials) ** 0.5,
+                "coverage": covered / trials,
+                "nominal": confidence,
+                "mean_rel_ci_width": sum(widths) / trials,
+            }
+        )
     return rows
 
 

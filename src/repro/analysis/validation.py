@@ -16,10 +16,9 @@ method and either ``run(stream)`` (distributed) or ``insert(item)``
 
 from __future__ import annotations
 
-import random
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 from ..common.errors import ConfigurationError
 from ..common.order_stats import exact_swor_inclusion_probabilities

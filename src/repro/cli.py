@@ -6,15 +6,20 @@ Examples::
     python -m repro swr  --sites 8  --sample 16 --items 20000
     python -m repro hh   --sites 16 --eps 0.1 --items 40000
     python -m repro l1   --sites 16 --eps 0.2 --items 30000
+    python -m repro query --sites 16 --items 50000
     python -m repro bounds --sites 1000 --sample 64 --weight 1e12
 
 Each subcommand synthesizes a seeded workload, runs the protocol, and
 prints a result table (sample / report / estimate plus message counts
-against the relevant closed-form bound).
+against the relevant closed-form bound).  ``query`` runs a whole
+catalog of estimation queries concurrently over one shared stream pass
+(see :mod:`repro.query`).
 
 Every subcommand accepts ``--engine {reference,batched}`` (and
 ``--batch-size N`` for the batched engine) to pick the execution
-runtime; see :mod:`repro.runtime`.
+runtime; see :mod:`repro.runtime`.  ``--seed`` may be given either
+globally (``repro --seed 7 swor``) or per subcommand; the subcommand's
+value wins when both are present.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ from .core import DistributedWeightedSWOR, DistributedWeightedSWR, SworConfig
 from .heavy_hitters import ResidualHeavyHitterTracker
 from .l1 import DeterministicCounterTracker, HyzStyleTracker, L1Tracker
 from .runtime import ENGINES, get_engine
+from .runtime.batched import DEFAULT_BATCH_SIZE, DEFAULT_INITIAL_BATCH_SIZE
 from .stream import (
     round_robin,
     two_phase_residual_stream,
@@ -39,12 +45,35 @@ from .stream import (
 __all__ = ["main", "build_parser"]
 
 
+def _package_version() -> str:
+    """Installed distribution version, falling back to the module's."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro-weighted-reservoir")
+    except Exception:  # not installed (PYTHONPATH=src use)
+        from . import __version__
+
+        return __version__
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for tests and docs tooling)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Weighted reservoir sampling from distributed streams "
         "(PODS 2019) - protocol runner",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_package_version()}"
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        dest="global_seed",
+        help="root seed applied to every subcommand (a subcommand's own "
+        "--seed overrides it; default 0)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -54,19 +83,26 @@ def build_parser() -> argparse.ArgumentParser:
             choices=sorted(ENGINES),
             default="reference",
             help="execution engine (reference = synchronous round model, "
-            "batched = vectorized chunked fast path)",
+            "batched = vectorized chunked fast path; default: reference)",
         )
         p.add_argument(
             "--batch-size",
             type=int,
             default=None,
-            help="steady-state batch size for --engine batched",
+            help="steady-state batch size for --engine batched "
+            f"(default: {DEFAULT_BATCH_SIZE}, ramping up from "
+            f"{DEFAULT_INITIAL_BATCH_SIZE})",
         )
 
     def common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--sites", type=int, default=16, help="number of sites k")
         p.add_argument("--items", type=int, default=20000, help="stream length")
-        p.add_argument("--seed", type=int, default=0, help="root seed")
+        p.add_argument(
+            "--seed",
+            type=int,
+            default=None,
+            help="root seed (default: the global --seed, else 0)",
+        )
         engine_opts(p)
 
     p_swor = sub.add_parser("swor", help="weighted SWOR (Theorem 3)")
@@ -91,6 +127,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_l1.add_argument("--eps", type=float, default=0.2)
     p_l1.add_argument("--delta", type=float, default=0.2)
 
+    p_query = sub.add_parser(
+        "query",
+        help="run a catalog of estimation queries concurrently over one "
+        "shared stream pass (subset sums, quantiles, group-bys, heavy "
+        "hitters, total weight)",
+    )
+    common(p_query)
+    p_query.add_argument(
+        "--sample", type=int, default=64, help="sample size s per SWOR-backed query"
+    )
+    p_query.add_argument(
+        "--alpha", type=float, default=1.2, help="Zipf tail index of weights"
+    )
+
     p_bounds = sub.add_parser(
         "bounds", help="print every closed-form bound at given parameters"
     )
@@ -103,11 +153,24 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _engine_of(args: argparse.Namespace):
-    """Resolve the subcommand's engine selection."""
+def _check_engine_flags(args: argparse.Namespace) -> None:
+    """Shared flag validation for every subcommand."""
     if args.batch_size is not None and args.engine != "batched":
         raise SystemExit("--batch-size requires --engine batched")
+
+
+def _engine_of(args: argparse.Namespace):
+    """Resolve the subcommand's engine selection."""
+    _check_engine_flags(args)
     return get_engine(args.engine, batch_size=args.batch_size)
+
+
+def _resolve_seed(args: argparse.Namespace) -> None:
+    """Fold the global ``--seed`` into the subcommand's (default 0)."""
+    local = getattr(args, "seed", None)
+    if local is None:
+        local = args.global_seed if args.global_seed is not None else 0
+    args.seed = local
 
 
 def _cmd_swor(args: argparse.Namespace) -> str:
@@ -219,6 +282,87 @@ def _cmd_l1(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_query(args: argparse.Namespace) -> str:
+    from .query import (
+        CountQuery,
+        GroupByQuery,
+        HeavyHittersQuery,
+        MultiQueryDriver,
+        QuantileQuery,
+        QueryCatalog,
+        SubsetSumQuery,
+        TotalWeightQuery,
+    )
+
+    _check_engine_flags(args)
+    rng = random.Random(args.seed)
+    items = zipf_stream(args.items, rng, alpha=args.alpha)
+    stream = round_robin(items, args.sites)
+    s = args.sample
+    catalog = QueryCatalog(
+        [
+            SubsetSumQuery("total_weight", sample_size=s),
+            SubsetSumQuery(
+                "even_idents",
+                predicate=lambda item: item.ident % 2 == 0,
+                sample_size=s,
+            ),
+            QuantileQuery("weight_quantiles", qs=(0.5, 0.9), sample_size=s),
+            GroupByQuery(
+                "by_ident_mod4", key=lambda item: item.ident % 4, sample_size=s
+            ),
+            CountQuery("item_count", sample_size=s),
+            HeavyHittersQuery("heavy_hitters", eps=0.1),
+            TotalWeightQuery("l1_total", eps=0.25, delta=0.1),
+        ]
+    )
+    driver = MultiQueryDriver(
+        catalog,
+        num_sites=args.sites,
+        seed=args.seed,
+        engine=args.engine,
+        batch_size=args.batch_size,
+    )
+    result = driver.run(stream)
+
+    w = stream.total_weight()
+    truths = {
+        "total_weight": w,
+        "even_idents": sum(i.weight for i in items if i.ident % 2 == 0),
+        "item_count": float(len(items)),
+        "l1_total": w,
+    }
+    rows = []
+    for query in catalog:
+        answer = result.answers[query.name]
+        row = {"query": query.name, "spec": query.describe()}
+        if hasattr(answer, "value"):
+            row["estimate"] = answer.value
+            row["ci95"] = f"[{answer.ci_low:.4g}, {answer.ci_high:.4g}]"
+            truth = truths.get(query.name)
+            if truth is not None:
+                row["truth"] = truth
+                row["rel_err"] = answer.rel_error(truth)
+        elif isinstance(answer, dict):
+            parts = ", ".join(
+                f"{key}={est.value:.4g}" for key, est in sorted(answer.items())
+            )
+            row["estimate"] = parts
+        else:  # heavy-hitter item list
+            row["estimate"] = f"{len(answer)} items, top={answer[0].ident}"
+        rows.append(row)
+    table = format_table(
+        rows,
+        title=f"concurrent queries over one pass (k={args.sites}, "
+        f"n={args.items}, engine={args.engine})",
+    )
+    messages = sum(c.total for c in result.counters.values())
+    return table + (
+        f"queries={len(catalog)}  items={result.items_processed}  "
+        f"total_messages={messages}"
+    )
+
+
 def _cmd_bounds(args: argparse.Namespace) -> str:
     _engine_of(args)  # no stream to run, but validate the flags uniformly
     k, s, eps, delta, w = (
@@ -252,6 +396,7 @@ _COMMANDS = {
     "swr": _cmd_swr,
     "hh": _cmd_hh,
     "l1": _cmd_l1,
+    "query": _cmd_query,
     "bounds": _cmd_bounds,
 }
 
@@ -260,6 +405,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _resolve_seed(args)
     output = _COMMANDS[args.command](args)
     print(output)
     return 0

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import Dict, Hashable, Iterable, List, Mapping, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, Mapping, Sequence, Tuple
 
 from .errors import ConfigurationError
 

@@ -27,7 +27,7 @@ from ..net.messages import (
     Message,
     REGULAR,
 )
-from ..net.simulator import BROADCAST, CoordinatorAlgorithm
+from ..runtime import BROADCAST, CoordinatorAlgorithm
 from ..stream.item import Item
 from .config import SworConfig
 from .epochs import EpochTracker
@@ -79,15 +79,24 @@ class SworCoordinator(CoordinatorAlgorithm):
     # -- message handlers ----------------------------------------------
 
     def _on_early(self, message: Message) -> List[Tuple[int, Message]]:
-        ident, weight = message.payload
-        item = Item(ident, weight)
         self.early_received += 1
         if not self.config.level_sets_enabled:
             raise ProtocolViolationError(
                 "early message received but level sets are disabled"
             )
+        try:
+            # Batch drivers attach the (item, level) this handler would
+            # otherwise rebuild from the payload — the level is equal by
+            # definition to level_of(weight, r), the item to
+            # Item(*payload); the memo is just cheaper, and shared
+            # across every query of a multi-query pass.
+            item, level = message.early_hint
+            weight = item.weight
+        except AttributeError:
+            ident, weight = message.payload
+            item = Item(ident, weight)
+            level = level_of(weight, self._r)
         key = weight / exponential(self._rng)
-        level = level_of(weight, self._r)
         if self.levels.is_saturated(level):
             # The sender filtered on a stale saturation view (its
             # LEVEL_SATURATED broadcast is still in flight — possible

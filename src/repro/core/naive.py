@@ -25,7 +25,7 @@ from ..common.errors import ConfigurationError, ProtocolViolationError
 from ..common.rng import RandomSource, exponential
 from ..net.counters import MessageCounters
 from ..net.messages import Message, RAW_ITEM, REGULAR
-from ..net.simulator import CoordinatorAlgorithm, Network, SiteAlgorithm
+from ..runtime import CoordinatorAlgorithm, Network, SiteAlgorithm
 from ..stream.item import DistributedStream, Item
 from .sample_set import TopKeySample
 

@@ -2,7 +2,7 @@
 
 Wires ``k`` :class:`~repro.core.site.SworSite` instances and a
 :class:`~repro.core.coordinator.SworCoordinator` into a
-:class:`~repro.net.simulator.Network`, giving a one-object API:
+:class:`~repro.runtime.Network`, giving a one-object API:
 
 >>> from repro import DistributedWeightedSWOR, SworConfig
 >>> from repro.stream import zipf_stream, round_robin
@@ -12,6 +12,12 @@ Wires ``k`` :class:`~repro.core.site.SworSite` instances and a
 >>> counters = proto.run(stream)
 >>> len(proto.sample())
 4
+
+For turning the live sample into *answers* — subset-sum / mean /
+frequency / quantile estimates with confidence intervals, or many
+concurrent queries over one shared stream pass — see
+:mod:`repro.query` (:func:`repro.query.subset_sum`,
+:class:`repro.query.MultiQueryDriver`).
 """
 
 from __future__ import annotations
@@ -20,8 +26,7 @@ from typing import List, Optional, Tuple, Union
 
 from ..common.rng import RandomSource
 from ..net.counters import MessageCounters
-from ..net.simulator import Network
-from ..runtime import Engine, get_engine
+from ..runtime import Engine, Network, get_engine
 from ..stream.item import DistributedStream, Item
 from .config import SworConfig
 from .coordinator import SworCoordinator
@@ -89,7 +94,13 @@ class DistributedWeightedSWOR:
         return self.coordinator.sample()
 
     def sample_with_keys(self) -> List[Tuple[Item, float]]:
-        """Current sample as ``(item, key)`` pairs, decreasing keys."""
+        """Current sample as ``(item, key)`` pairs, decreasing keys.
+
+        This is the estimator-ready view: feed it (with
+        ``config.sample_size``) to the Horvitz–Thompson estimators in
+        :mod:`repro.query.estimators` for unbiased subset-sum /
+        count / quantile answers with confidence intervals.
+        """
         return self.coordinator.sample_with_keys()
 
     @property

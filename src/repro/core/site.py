@@ -28,7 +28,7 @@ except ImportError:  # pragma: no cover - exercised on numpy-free installs
 from ..common.errors import ProtocolViolationError
 from ..common.rng import BatchRandom, LazyExponential, exponential
 from ..net.messages import EARLY, EPOCH_UPDATE, LEVEL_SATURATED, Message, REGULAR
-from ..net.simulator import SiteAlgorithm
+from ..runtime import SiteAlgorithm
 from ..stream.item import Item
 from .config import SworConfig
 from .levels import level_of, levels_of_array
@@ -141,7 +141,7 @@ class SworSite(SiteAlgorithm):
             (threshold,) = message.payload
             if threshold < self._threshold:
                 raise ProtocolViolationError(
-                    f"epoch threshold moved backwards: "
+                    "epoch threshold moved backwards: "
                     f"{self._threshold} -> {threshold}"
                 )
             self._threshold = threshold

@@ -31,8 +31,14 @@ from ..common.errors import ConfigurationError, ProtocolViolationError
 from ..common.rng import RandomSource, binomial
 from ..net.counters import MessageCounters
 from ..net.messages import Message, ROUND_UPDATE, SWR_SAMPLE
-from ..net.simulator import BROADCAST, CoordinatorAlgorithm, Network, SiteAlgorithm
-from ..runtime import Engine, get_engine
+from ..runtime import (
+    BROADCAST,
+    CoordinatorAlgorithm,
+    Engine,
+    Network,
+    SiteAlgorithm,
+    get_engine,
+)
 from ..stream.item import DistributedStream, Item
 
 __all__ = ["DistributedWeightedSWR"]

@@ -27,8 +27,14 @@ from ..common.errors import ConfigurationError, ProtocolViolationError
 from ..common.rng import BatchRandom, RandomSource
 from ..net.counters import MessageCounters
 from ..net.messages import Message, REGULAR, ROUND_UPDATE
-from ..net.simulator import BROADCAST, CoordinatorAlgorithm, Network, SiteAlgorithm
-from ..runtime import Engine, get_engine
+from ..runtime import (
+    BROADCAST,
+    CoordinatorAlgorithm,
+    Engine,
+    Network,
+    SiteAlgorithm,
+    get_engine,
+)
 from ..stream.item import DistributedStream, Item
 
 __all__ = ["DistributedUnweightedSWOR"]
@@ -129,6 +135,12 @@ class _UnweightedCoordinator(CoordinatorAlgorithm):
         """Current uniform SWOR (increasing key order)."""
         return [e[2] for e in sorted(self._heap, key=lambda e: -e[0])]
 
+    def sample_with_keys(self) -> List[Tuple[Item, float]]:
+        """``(item, key)`` pairs in increasing key order — the input
+        shape :func:`repro.query.estimators.count_from_uniform_sample`
+        expects."""
+        return [(e[2], -e[0]) for e in sorted(self._heap, key=lambda e: -e[0])]
+
     def state_words(self) -> int:
         return 3 * len(self._heap) + 2
 
@@ -169,6 +181,10 @@ class DistributedUnweightedSWOR:
     def sample(self) -> List[Item]:
         """The current uniform sample without replacement."""
         return self.coordinator.sample()
+
+    def sample_with_keys(self) -> List[Tuple[Item, float]]:
+        """``(item, key)`` pairs in increasing key order."""
+        return self.coordinator.sample_with_keys()
 
     @property
     def counters(self) -> MessageCounters:

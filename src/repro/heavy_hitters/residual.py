@@ -114,6 +114,17 @@ class ResidualHeavyHitterTracker:
         """The raw underlying weighted SWOR (for diagnostics)."""
         return self._swor.sample()
 
+    def sample_with_keys(self):
+        """Underlying ``(item, key)`` pairs — estimator-ready (see
+        :mod:`repro.query.estimators`)."""
+        return self._swor.sample_with_keys()
+
+    @property
+    def protocol(self) -> DistributedWeightedSWOR:
+        """The underlying Theorem 3 protocol (e.g. for shared-pass
+        drivers that fuse same-config SWOR instances)."""
+        return self._swor
+
     @property
     def counters(self) -> MessageCounters:
         """Message counters of the underlying protocol."""

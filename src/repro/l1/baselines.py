@@ -29,8 +29,14 @@ from ..common.errors import ConfigurationError, ProtocolViolationError
 from ..common.rng import RandomSource
 from ..net.counters import MessageCounters
 from ..net.messages import COUNT_REPORT, ESTIMATE_BROADCAST, Message
-from ..net.simulator import BROADCAST, CoordinatorAlgorithm, Network, SiteAlgorithm
-from ..runtime import Engine, get_engine
+from ..runtime import (
+    BROADCAST,
+    CoordinatorAlgorithm,
+    Engine,
+    Network,
+    SiteAlgorithm,
+    get_engine,
+)
 from ..stream.item import DistributedStream, Item
 
 __all__ = ["DeterministicCounterTracker", "HyzStyleTracker"]

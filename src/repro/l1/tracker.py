@@ -38,8 +38,14 @@ from ..core.epochs import EpochTracker
 from ..core.sample_set import TopKeySample
 from ..net.counters import MessageCounters
 from ..net.messages import EPOCH_UPDATE, Message, REGULAR
-from ..net.simulator import BROADCAST, CoordinatorAlgorithm, Network, SiteAlgorithm
-from ..runtime import Engine, get_engine
+from ..runtime import (
+    BROADCAST,
+    CoordinatorAlgorithm,
+    Engine,
+    Network,
+    SiteAlgorithm,
+    get_engine,
+)
 from ..stream.item import DistributedStream, Item
 
 __all__ = ["L1Tracker", "theorem6_sample_size", "theorem6_duplication"]

@@ -16,7 +16,7 @@ from .messages import (
     SWR_SAMPLE,
     UPSTREAM_KINDS,
 )
-from .simulator import BROADCAST, CoordinatorAlgorithm, Network, SiteAlgorithm
+from ..runtime import BROADCAST, CoordinatorAlgorithm, Network, SiteAlgorithm
 from .tracing import MessageTrace, TraceEvent
 
 __all__ = [

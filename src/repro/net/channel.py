@@ -1,7 +1,7 @@
 """FIFO channels between sites and the coordinator.
 
 The model (Section 2.1) assumes FIFO delivery, no loss, and no crashes.
-The synchronous driver in :mod:`repro.net.simulator` delivers messages
+The synchronous driver in :mod:`repro.runtime` delivers messages
 immediately, so channels exist to (a) make the FIFO assumption an
 *enforced invariant* rather than an accident of the driver, and (b) let
 fault-injection tests violate it deliberately and observe that the

@@ -41,11 +41,23 @@ class MessageCounters:
         self.words = 0
         self.max_message_words = 0
 
+    @staticmethod
+    def _message_words(message: Message) -> int:
+        """Words for one copy of ``message`` (+1 for the kind tag),
+        cached on the message object — repeat counts of the same object
+        (broadcast copies, multi-query shared deliveries) are free."""
+        try:
+            return message._words
+        except AttributeError:
+            w = words_for_payload(message.payload) + 1
+            message._words = w
+            return w
+
     def record_upstream(self, message: Message) -> None:
         """Count one site -> coordinator message."""
         self.upstream += 1
         self.by_kind[message.kind] += 1
-        w = words_for_payload(message.payload) + 1  # +1 for the kind tag
+        w = self._message_words(message)
         self.words += w
         if w > self.max_message_words:
             self.max_message_words = w
@@ -54,9 +66,8 @@ class MessageCounters:
         """Count a coordinator -> site message (``copies`` recipients)."""
         self.downstream += copies
         self.by_kind[message.kind] += copies
-        w = (words_for_payload(message.payload) + 1) * copies
-        self.words += w
-        per = words_for_payload(message.payload) + 1
+        per = self._message_words(message)
+        self.words += per * copies
         if per > self.max_message_words:
             self.max_message_words = per
 

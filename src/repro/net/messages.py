@@ -60,10 +60,22 @@ class Message:
     """One network message: a kind tag and a small payload tuple.
 
     Deliberately minimal (``__slots__``) — protocol hot paths construct
-    many of these.
+    many of these.  ``_words`` caches the payload's word-accounting cost
+    (filled lazily by :class:`~repro.net.counters.MessageCounters`): the
+    same object is counted once per broadcast copy, and the multi-query
+    driver delivers one shared ``EARLY`` object to every concurrent
+    query, so the cache amortizes the accounting across deliveries.
+
+    ``early_hint`` is an optional sender-attached memo for ``EARLY``
+    messages: the ``(Item, level)`` pair the receiving coordinator
+    would otherwise rebuild from the payload (the level is a pure
+    function of the weight and the protocol's ``r``; the item is the
+    payload as an :class:`~repro.stream.item.Item`).  Batch drivers
+    that already computed levels vectorized attach it; it carries no
+    information beyond the payload and is not counted as message words.
     """
 
-    __slots__ = ("kind", "payload")
+    __slots__ = ("kind", "payload", "_words", "early_hint")
 
     def __init__(self, kind: str, payload: Tuple = ()) -> None:
         self.kind = kind

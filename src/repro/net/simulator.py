@@ -1,35 +1,37 @@
-"""Coordinator/sites driver — compatibility re-exports from ``repro.runtime``.
+"""Deprecated location of the coordinator/sites driver.
 
-Historically this module owned the single, strictly synchronous driver.
-Execution strategy is now a first-class abstraction in
-:mod:`repro.runtime`, with two engines behind a common interface:
+The execution layer moved to :mod:`repro.runtime`, which owns the
+protocol interfaces (:class:`~repro.runtime.SiteAlgorithm`,
+:class:`~repro.runtime.CoordinatorAlgorithm`, :data:`~repro.runtime.BROADCAST`),
+the wiring (:class:`~repro.runtime.Network`), and the pluggable engines
+(:class:`~repro.runtime.ReferenceEngine`, :class:`~repro.runtime.BatchedEngine`).
 
-* **reference** (:class:`repro.runtime.ReferenceEngine`) — the model of
-  Section 2.1: ``k`` sites each observe a local stream; in each round a
-  site may observe one item, send messages to the coordinator, and
-  receive a response before the next arrival.  FIFO order, no loss, no
-  crashes; message count is the cost.  This is the historical
-  ``Network.run`` behavior, preserved bit for bit on golden seeds.
-
-* **batched** (:class:`repro.runtime.BatchedEngine`) — arrivals are
-  processed in chunks: sites vectorize per-batch key generation through
-  the bulk hook ``on_items``, upstream messages flush to the
-  coordinator per batch, and control broadcasts (``EPOCH_UPDATE`` /
-  ``LEVEL_SATURATED``) take effect at batch boundaries.  Sites then
-  filter on *stale* (smaller) thresholds, which only produces extra
-  messages that the coordinator re-checks and discards — the sample
-  distribution is preserved exactly, at a bounded message overhead.
-
-Both engines replay a :class:`~repro.stream.item.DistributedStream` in
-global arrival order and pass every message through
-:class:`~repro.net.counters.MessageCounters`.  Protocol implementations
-plug in via :class:`SiteAlgorithm` and :class:`CoordinatorAlgorithm`;
-all four names below are re-exports and remain API-compatible.
+This module remains only as a compatibility shim: attribute access
+re-exports the moved names and emits a :class:`DeprecationWarning`.
+Import from :mod:`repro.runtime` (or :mod:`repro.net`, which re-exports
+the stable names without a warning) instead.
 """
 
 from __future__ import annotations
 
-from ..runtime.interfaces import BROADCAST, CoordinatorAlgorithm, SiteAlgorithm
-from ..runtime.network import Network
+import warnings
 
 __all__ = ["SiteAlgorithm", "CoordinatorAlgorithm", "BROADCAST", "Network"]
+
+
+def __getattr__(name: str):
+    if name in __all__:
+        warnings.warn(
+            f"repro.net.simulator.{name} is deprecated; import it from "
+            "repro.runtime instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from .. import runtime
+
+        return getattr(runtime, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(__all__)

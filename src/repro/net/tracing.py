@@ -1,6 +1,6 @@
 """Message tracing — observability for protocol debugging.
 
-Wraps a :class:`~repro.net.simulator.Network`'s counters with an
+Wraps a :class:`~repro.runtime.Network`'s counters with an
 event log that records every message in causal order, so tests (and
 humans) can assert *sequencing* properties the counters cannot see:
 e.g. that a ``LEVEL_SATURATED`` broadcast happens exactly once per
@@ -20,8 +20,8 @@ from __future__ import annotations
 from collections import Counter
 from typing import List, NamedTuple, Optional, Tuple
 
+from ..runtime import Network
 from .messages import Message
-from .simulator import Network
 
 __all__ = ["TraceEvent", "MessageTrace"]
 

@@ -1,0 +1,424 @@
+"""Concurrent multi-query driver: many protocols, one stream pass.
+
+:class:`MultiQueryDriver` answers N heterogeneous registered queries
+over a *single shared pass* of a :class:`~repro.stream.item.DistributedStream`.
+Each query is backed by its own protocol instance (weighted/unweighted
+SWOR, SWR, L1 tracker, sliding-window sampler) with an independent,
+deterministically derived RNG substream — the same sample a standalone
+run with :func:`repro.query.backends.query_seed` would produce — while
+the driver amortizes the batched engine's per-batch work across all of
+them:
+
+* the stream's structure-of-arrays view is sliced and the per-site
+  grouping (one stable argsort per batch) is computed **once**, and the
+  resulting zero-copy :class:`~repro.runtime.batched.ItemBatch` views
+  are handed to every query's sites;
+* queries backed by *same-config* weighted SWORs are **fused**: the
+  batch's level indices, the early/regular split, and the shared
+  ``EARLY`` message objects (with precomputed level hints) are computed
+  once per (batch, site), leaving only the per-query exponential draws,
+  threshold filtering, and coordinator work;
+* control propagation follows the batched engine's bounded-staleness
+  contract exactly, so per-query message counts match a standalone
+  batched run message for message.
+
+The batch schedule mirrors :class:`~repro.runtime.batched.BatchedEngine`
+(doubling ramp, checkpoint-exact splits), so a driver with a single
+query is bit-identical to a standalone run under the batched engine —
+and with ``engine="reference"`` (batch size 1) to the reference engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+try:  # numpy unlocks the shared vectorized pass; gated, not required
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None  # type: ignore[assignment]
+
+from ..common.errors import ConfigurationError
+from ..common.rng import BatchRandom
+from ..core.config import SworConfig
+from ..core.levels import levels_of_array
+from ..net.counters import MessageCounters
+from ..net.messages import EARLY, Message, REGULAR
+from ..runtime.batched import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_INITIAL_BATCH_SIZE,
+    ItemBatch,
+    batch_windows,
+    site_buckets,
+    site_runs,
+)
+from ..stream.item import DistributedStream, Item
+from .backends import (
+    CentralizedQuery,
+    CompiledQuery,
+    NetworkBackedQuery,
+    _SworBackedQuery,
+    compile_query,
+)
+from .model import Query, QueryCatalog
+
+__all__ = ["MultiQueryDriver", "MultiQueryResult"]
+
+
+class MultiQueryResult:
+    """Answers and accounting from one shared pass.
+
+    Attributes
+    ----------
+    answers:
+        Final per-query answers (``{name: answer}``; answer types vary
+        by query — :class:`~repro.query.estimators.Estimate`, dicts of
+        estimates, or item lists for heavy hitters).
+    counters:
+        Per-query :class:`~repro.net.counters.MessageCounters` for the
+        network-backed queries (centralized backends send no messages).
+    items_processed:
+        Global arrivals replayed.
+    """
+
+    def __init__(
+        self,
+        answers: Dict[str, object],
+        counters: Dict[str, MessageCounters],
+        items_processed: int,
+        snapshots: List[Tuple[int, Dict[str, object]]],
+    ) -> None:
+        self.answers = answers
+        self.counters = counters
+        self.items_processed = items_processed
+        self._snapshots = dict(snapshots)
+
+    @property
+    def checkpoints(self) -> List[int]:
+        """Checkpoint times with recorded snapshots, ascending."""
+        return sorted(self._snapshots)
+
+    def answers_at(self, checkpoint: int) -> Dict[str, object]:
+        """Per-query answers snapshotted after item ``checkpoint``."""
+        try:
+            return self._snapshots[checkpoint]
+        except KeyError:
+            raise ConfigurationError(
+                f"no snapshot at {checkpoint}; recorded: {self.checkpoints}"
+            ) from None
+
+
+class _GenericConsumer:
+    """Drives one network-backed query through the shared batches the
+    same way the batched engine would: bulk hook, then flush."""
+
+    __slots__ = ("instance", "network")
+
+    def __init__(self, instance: NetworkBackedQuery) -> None:
+        self.instance = instance
+        self.network = instance.network
+
+    def site_batch(self, site_id: int, batch: Sequence[Item]) -> None:
+        network = self.network
+        for message in network.sites[site_id].on_items(batch):
+            network.deliver_upstream(site_id, message)
+
+
+class _FusedSworGroup:
+    """Shared site-side pass for same-config weighted-SWOR queries.
+
+    For each (batch, site) the group computes once: the batch's level
+    indices, the saturation split into early/regular arrivals, the
+    shared ``EARLY`` :class:`~repro.net.messages.Message` objects (each
+    carrying a precomputed level hint the coordinators reuse), and the
+    regular arrivals' weight vector.  Each member query then only draws
+    its own batch exponentials, filters on its own epoch threshold, and
+    delivers through its own network — so the sample each member ends
+    with is bit-identical to a standalone batched run with the same
+    seed, at a fraction of the site-side cost.
+
+    Any state divergence between members' site views (impossible for
+    same-config members, but checked defensively) falls back to the
+    generic per-query path for that site batch.
+    """
+
+    __slots__ = ("config", "members", "protocols", "_r")
+
+    def __init__(self, config: SworConfig, members: List[NetworkBackedQuery]) -> None:
+        self.config = config
+        self.members = members
+        self.protocols = [
+            m.protocol if isinstance(m, _SworBackedQuery) else m.tracker.protocol
+            for m in members
+        ]
+        self._r = config.r
+
+    def _fallback(self, site_id: int, batch: Sequence[Item]) -> None:
+        for protocol in self.protocols:
+            network = protocol.network
+            for message in network.sites[site_id].on_items(batch):
+                network.deliver_upstream(site_id, message)
+
+    def site_batch(self, site_id: int, batch: "ItemBatch") -> None:
+        n = len(batch)
+        if n <= 1 or _np is None:
+            self._fallback(site_id, batch)
+            return
+        weights = batch.weights
+        first = self.protocols[0].sites[site_id]
+        mask = first._saturated_mask
+        for protocol in self.protocols[1:]:
+            if protocol.sites[site_id]._saturated_mask != mask:
+                self._fallback(site_id, batch)  # pragma: no cover - defensive
+                return
+        levels = levels_of_array(weights, self._r)
+        if mask:
+            table = _np.fromiter(
+                ((mask >> j) & 1 for j in range(int(levels.max()) + 1)),
+                dtype=_np.bool_,
+            )
+            early = ~table[levels]
+            early_idx = _np.flatnonzero(early)
+            regular_idx = _np.flatnonzero(~early)
+        else:
+            early_idx = _np.arange(n)
+            regular_idx = None
+        # Materialize through the view's backing list once — plain list
+        # indexing here beats per-access numpy scalar indexing, and the
+        # stream's own Item objects ride along as coordinator hints.
+        source, positions = batch._source, batch._positions.tolist()
+        levels_list = levels.tolist()
+        early_messages: List[Message] = []
+        for i in early_idx.tolist():
+            item = source[positions[i]]
+            message = Message(EARLY, (item.ident, item.weight))
+            message.early_hint = (item, levels_list[i])
+            early_messages.append(message)
+        if regular_idx is None or len(regular_idx) == 0:
+            regular_weights = None
+            num_regular = 0
+            regular_items: Sequence[Item] = ()
+        else:
+            regular_weights = weights[regular_idx]
+            num_regular = len(regular_idx)
+            regular_items = [source[positions[i]] for i in regular_idx.tolist()]
+        for protocol in self.protocols:
+            site = protocol.sites[site_id]
+            site.items_seen += n
+            threshold = site._threshold  # pre-flush view, like on_items
+            deliver = protocol.network.deliver_upstream
+            for message in early_messages:
+                deliver(site_id, message)
+            if num_regular:
+                if site._batch_rng is None:
+                    site._batch_rng = BatchRandom(site._rng)
+                draws = site._batch_rng.exponentials(num_regular)
+                site.exponentials_generated += num_regular
+                keys = regular_weights / draws
+                for j in _np.flatnonzero(keys > threshold).tolist():
+                    item = regular_items[j]
+                    deliver(
+                        site_id,
+                        Message(REGULAR, (item.ident, item.weight, float(keys[j]))),
+                    )
+
+
+class MultiQueryDriver:
+    """Run a catalog of queries concurrently over one stream pass.
+
+    Parameters
+    ----------
+    queries:
+        A :class:`~repro.query.model.QueryCatalog` or iterable of
+        :class:`~repro.query.model.Query` specs.
+    num_sites:
+        ``k`` — must match the stream's site count.
+    seed:
+        Root seed; each query's protocol derives an independent seed
+        via :func:`repro.query.backends.query_seed`.
+    engine:
+        ``"batched"`` (the shared vectorized pass, default) or
+        ``"reference"`` (batch size 1 — the synchronous round model,
+        bit-identical to :class:`~repro.runtime.ReferenceEngine`).
+    batch_size / initial_batch_size:
+        Batch ramp for the batched engine, as in
+        :class:`~repro.runtime.batched.BatchedEngine`.
+    confidence:
+        Nominal CI level for all estimator-backed answers.
+    fuse:
+        Allow the fused same-config SWOR fast path (disable to force
+        the generic per-query path, e.g. for benchmarking the fusion
+        gain itself).
+    """
+
+    def __init__(
+        self,
+        queries: Union[QueryCatalog, Iterable[Query]],
+        num_sites: int,
+        seed: Optional[int] = None,
+        engine: str = "batched",
+        batch_size: Optional[int] = None,
+        initial_batch_size: Optional[int] = None,
+        confidence: float = 0.95,
+        fuse: bool = True,
+    ) -> None:
+        if num_sites <= 0:
+            raise ConfigurationError(f"num_sites must be positive, got {num_sites}")
+        if engine not in ("batched", "reference"):
+            raise ConfigurationError(
+                f"engine must be 'batched' or 'reference', got {engine!r}"
+            )
+        # None means "engine default", matching the protocol facades.
+        if batch_size is None:
+            batch_size = DEFAULT_BATCH_SIZE
+        if initial_batch_size is None:
+            initial_batch_size = DEFAULT_INITIAL_BATCH_SIZE
+        if batch_size <= 0 or initial_batch_size <= 0:
+            raise ConfigurationError("batch sizes must be positive")
+        catalog = (
+            queries if isinstance(queries, QueryCatalog) else QueryCatalog(list(queries))
+        )
+        if len(catalog) == 0:
+            raise ConfigurationError("need at least one query")
+        self.catalog = catalog
+        self.num_sites = num_sites
+        self.seed = seed
+        self.engine = engine
+        if engine == "reference":
+            batch_size = initial_batch_size = 1
+        self.batch_size = batch_size
+        self.initial_batch_size = min(initial_batch_size, batch_size)
+        self.confidence = confidence
+        self.fuse = fuse and engine == "batched"
+        self.compiled: List[CompiledQuery] = [
+            compile_query(query, num_sites, seed, confidence) for query in catalog
+        ]
+        self._network_backed = [
+            c for c in self.compiled if isinstance(c, NetworkBackedQuery)
+        ]
+        self._centralized = [
+            c for c in self.compiled if isinstance(c, CentralizedQuery)
+        ]
+        self.items_processed = 0
+
+    # -- answers ------------------------------------------------------
+
+    def answers(self) -> Dict[str, object]:
+        """Live per-query answers at this instant (valid at any step)."""
+        return {c.name: c.answer() for c in self.compiled}
+
+    def counters(self) -> Dict[str, MessageCounters]:
+        """Per-query message counters for the network-backed queries."""
+        return {c.name: c.counters for c in self._network_backed}
+
+    def __getitem__(self, name: str) -> CompiledQuery:
+        for c in self.compiled:
+            if c.name == name:
+                return c
+        raise ConfigurationError(f"unknown query {name!r}")
+
+    # -- the shared pass ----------------------------------------------
+
+    def _consumers(self) -> List[object]:
+        """Group fusable same-config SWOR queries; others run generic."""
+        fusable: Dict[SworConfig, List[NetworkBackedQuery]] = {}
+        consumers: List[object] = []
+        generic: List[NetworkBackedQuery] = []
+        for instance in self._network_backed:
+            config = getattr(instance, "fuse_config", None)
+            if (
+                self.fuse
+                and _np is not None
+                and config is not None
+                and config.level_sets_enabled
+                and not config.count_bits
+            ):
+                fusable.setdefault(config, []).append(instance)
+            else:
+                generic.append(instance)
+        for config, members in fusable.items():
+            if len(members) >= 2:
+                consumers.append(_FusedSworGroup(config, members))
+            else:
+                generic.extend(members)
+        consumers.extend(_GenericConsumer(instance) for instance in generic)
+        return consumers
+
+    def run(
+        self,
+        stream: DistributedStream,
+        checkpoints: Optional[Iterable[int]] = None,
+    ) -> MultiQueryResult:
+        """Replay ``stream`` once, feeding every query.
+
+        ``checkpoints`` (1-indexed global item counts) snapshot every
+        query's answer mid-stream; batches split so each snapshot is
+        taken after exactly that many arrivals (see
+        :meth:`MultiQueryResult.answers_at`).  Like the batched
+        engine's, checkpoint counts are cumulative across ``run``
+        calls: a driver reused on a second stream keeps one clock.
+        """
+        if stream.num_sites != self.num_sites:
+            raise ConfigurationError(
+                f"stream has {stream.num_sites} sites, driver has {self.num_sites}"
+            )
+        n = len(stream)
+        base = self.items_processed
+        marks: List[int] = (
+            [t - base for t in set(checkpoints) if base < t <= base + n]
+            if checkpoints
+            else []
+        )
+        mark_set = set(marks)
+        snapshots: List[Tuple[int, Dict[str, object]]] = []
+        consumers = self._consumers()
+        centralized = self._centralized
+        networks = [instance.network for instance in self._network_backed]
+        items = stream.items
+        arrays = stream.arrays()
+        # batch_windows is the same schedule BatchedEngine iterates —
+        # the source of the driver's run-for-run parity with it.
+        for lo, hi in batch_windows(
+            n, self.batch_size, self.initial_batch_size, marks
+        ):
+            if arrays is not None:
+                self._run_window_numpy(consumers, items, arrays, lo, hi)
+            else:
+                self._run_window_python(consumers, stream, lo, hi)
+            if centralized:
+                window_items = items[lo:hi]
+                for instance in centralized:
+                    instance.observe_items(window_items)
+            for network in networks:
+                network.items_processed += hi - lo
+            self.items_processed += hi - lo
+            if hi in mark_set:
+                snapshots.append((base + hi, self.answers()))
+        return MultiQueryResult(
+            answers=self.answers(),
+            counters=self.counters(),
+            items_processed=self.items_processed,
+            snapshots=snapshots,
+        )
+
+    @staticmethod
+    def _run_window_numpy(
+        consumers: List[object], items: List[Item], arrays, lo: int, hi: int
+    ) -> None:
+        """One argsort groups the window for *every* query's sites."""
+        assignment, weights = arrays
+        for site_id, order_positions in site_runs(assignment[lo:hi]):
+            positions = order_positions + lo
+            batch = ItemBatch(items, positions, weights[positions])
+            for consumer in consumers:
+                consumer.site_batch(site_id, batch)
+
+    @staticmethod
+    def _run_window_python(
+        consumers: List[object], stream: DistributedStream, lo: int, hi: int
+    ) -> None:
+        """Numpy-free fallback, sharing the engine's bucketing."""
+        for site_id, batch in site_buckets(
+            stream.assignment, stream.items, lo, hi
+        ):
+            for consumer in consumers:
+                consumer.site_batch(site_id, batch)

@@ -1,0 +1,244 @@
+"""Declarative query specs and the catalog that registers them.
+
+A :class:`Query` names *what* should be answered over the distributed
+stream; :mod:`repro.query.backends` compiles each spec into the protocol
+instance that can answer it (weighted/unweighted SWOR, SWR, the L1
+tracker, or the sliding-window sampler), and
+:class:`repro.query.driver.MultiQueryDriver` runs all of the compiled
+instances over one shared pass of the stream.
+
+The specs are deliberately plain dataclasses — they carry predicates /
+key functions and protocol sizing, no state — so a
+:class:`QueryCatalog` can be built once and reused across streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..common.errors import ConfigurationError
+from ..stream.item import Item
+
+__all__ = [
+    "Query",
+    "SubsetSumQuery",
+    "CountQuery",
+    "MeanWeightQuery",
+    "FrequencyQuery",
+    "GroupByQuery",
+    "QuantileQuery",
+    "HeavyHittersQuery",
+    "TotalWeightQuery",
+    "WeightedMeanQuery",
+    "SlidingWindowQuery",
+    "QueryCatalog",
+]
+
+
+@dataclass(frozen=True)
+class Query:
+    """Base spec: a unique name plus whatever the subtype needs."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("query name must be non-empty")
+
+    def describe(self) -> str:
+        """One-line human description (CLI / dashboard rows)."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class SubsetSumQuery(Query):
+    """Estimate ``Σ w_i`` over items satisfying ``predicate``.
+
+    Backed by a weighted SWOR of size ``sample_size`` with
+    Horvitz–Thompson inverse-inclusion weighting
+    (:func:`repro.query.estimators.subset_sum`).
+    """
+
+    predicate: Optional[Callable[[Item], bool]] = None
+    sample_size: int = 64
+
+    def describe(self) -> str:
+        scope = "all items" if self.predicate is None else "predicate"
+        return f"subset-sum over {scope} (swor s={self.sample_size})"
+
+
+@dataclass(frozen=True)
+class CountQuery(Query):
+    """Estimate the *number* of items satisfying ``predicate``.
+
+    Backed by the unweighted-SWOR baseline protocol (uniform keys), via
+    :func:`repro.query.estimators.count_from_uniform_sample`.
+    """
+
+    predicate: Optional[Callable[[Item], bool]] = None
+    sample_size: int = 64
+
+    def describe(self) -> str:
+        return f"item count (unweighted swor s={self.sample_size})"
+
+
+@dataclass(frozen=True)
+class MeanWeightQuery(Query):
+    """Estimate the mean weight of items satisfying ``predicate``
+    (ratio of HT sum and HT count over a weighted SWOR)."""
+
+    predicate: Optional[Callable[[Item], bool]] = None
+    sample_size: int = 64
+
+    def describe(self) -> str:
+        return f"mean weight (swor s={self.sample_size})"
+
+
+@dataclass(frozen=True)
+class FrequencyQuery(Query):
+    """Estimate the total weight (or weight share) of one identifier."""
+
+    ident: int = 0
+    relative: bool = False
+    sample_size: int = 64
+
+    def describe(self) -> str:
+        kind = "share" if self.relative else "weight"
+        return f"frequency {kind} of ident {self.ident} (swor s={self.sample_size})"
+
+
+@dataclass(frozen=True)
+class GroupByQuery(Query):
+    """Per-group subset-sum estimates under ``key`` (group-by aggregate)."""
+
+    key: Callable[[Item], object] = field(default=lambda item: item.ident)
+    sample_size: int = 64
+
+    def describe(self) -> str:
+        return f"group-by weight totals (swor s={self.sample_size})"
+
+
+@dataclass(frozen=True)
+class QuantileQuery(Query):
+    """Estimate quantiles of the weight distribution over ``value``.
+
+    ``qs`` lists the quantiles (each in (0,1)); the answer maps each
+    ``q`` to an :class:`~repro.query.estimators.Estimate`.
+    """
+
+    qs: Tuple[float, ...] = (0.5,)
+    value: Optional[Callable[[Item], float]] = None
+    sample_size: int = 64
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.qs:
+            raise ConfigurationError("QuantileQuery needs at least one q")
+        for q in self.qs:
+            if not 0.0 < q < 1.0:
+                raise ConfigurationError(f"quantile q must be in (0,1), got {q}")
+
+    def describe(self) -> str:
+        qs = ",".join(f"{q:g}" for q in self.qs)
+        return f"quantiles q={qs} (swor s={self.sample_size})"
+
+
+@dataclass(frozen=True)
+class HeavyHittersQuery(Query):
+    """Report eps-residual heavy hitters (Theorem 4)."""
+
+    eps: float = 0.1
+    delta: float = 0.05
+    sample_size_override: Optional[int] = None
+
+    def describe(self) -> str:
+        return f"residual heavy hitters (eps={self.eps:g})"
+
+
+@dataclass(frozen=True)
+class TotalWeightQuery(Query):
+    """Track the stream's total weight ``W`` via the L1 tracker
+    (Theorem 6) — a ``(1±eps)`` estimate at every step."""
+
+    eps: float = 0.2
+    delta: float = 0.1
+    sample_size_override: Optional[int] = None
+    duplication_override: Optional[int] = None
+
+    def describe(self) -> str:
+        return f"total weight via L1 tracker (eps={self.eps:g})"
+
+
+@dataclass(frozen=True)
+class WeightedMeanQuery(Query):
+    """Estimate ``Σ w_i·value_i / W`` from a weighted SWR sample
+    (each slot is an independent weighted draw; CLT interval)."""
+
+    value: Optional[Callable[[Item], float]] = None
+    sample_size: int = 64
+
+    def describe(self) -> str:
+        return f"weighted mean of value (swr s={self.sample_size})"
+
+
+@dataclass(frozen=True)
+class SlidingWindowQuery(Query):
+    """Subset-sum estimate restricted to the last ``window`` arrivals,
+    served by the centralized sliding-window sampler (Section 6)."""
+
+    window: int = 1000
+    predicate: Optional[Callable[[Item], bool]] = None
+    sample_size: int = 64
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.window <= 0:
+            raise ConfigurationError(
+                f"window must be positive, got {self.window}"
+            )
+
+    def describe(self) -> str:
+        return f"subset-sum over last {self.window} (sliding window s={self.sample_size})"
+
+
+class QueryCatalog:
+    """An ordered, name-unique collection of query specs.
+
+    >>> catalog = QueryCatalog()
+    >>> _ = catalog.register(SubsetSumQuery("total"))
+    >>> [q.name for q in catalog]
+    ['total']
+    """
+
+    def __init__(self, queries: Optional[List[Query]] = None) -> None:
+        self._queries: Dict[str, Query] = {}
+        for query in queries or []:
+            self.register(query)
+
+    def register(self, query: Query) -> Query:
+        """Add a query; names must be unique.  Returns the query."""
+        if not isinstance(query, Query):
+            raise ConfigurationError(f"not a Query: {query!r}")
+        if query.name in self._queries:
+            raise ConfigurationError(f"duplicate query name {query.name!r}")
+        self._queries[query.name] = query
+        return query
+
+    def get(self, name: str) -> Query:
+        try:
+            return self._queries[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown query {name!r}") from None
+
+    def names(self) -> List[str]:
+        return list(self._queries)
+
+    def __iter__(self) -> Iterator[Query]:
+        return iter(self._queries.values())
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._queries

@@ -19,7 +19,7 @@ Select an engine by instance or by name::
 
 ``SiteAlgorithm`` / ``CoordinatorAlgorithm`` / ``Network`` /
 ``BROADCAST`` live here now; :mod:`repro.net.simulator` re-exports them
-for backward compatibility.
+for backward compatibility (with a :class:`DeprecationWarning`).
 """
 
 from __future__ import annotations

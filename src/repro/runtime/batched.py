@@ -58,7 +58,79 @@ if TYPE_CHECKING:  # pragma: no cover - annotations only
     from ..stream.item import DistributedStream, Item
     from .network import Network
 
-__all__ = ["ItemBatch", "BatchedEngine"]
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "DEFAULT_INITIAL_BATCH_SIZE",
+    "ItemBatch",
+    "BatchedEngine",
+    "batch_windows",
+    "site_runs",
+    "site_buckets",
+]
+
+#: Steady-state and warm-up batch sizes.  Defined once here; the
+#: multi-query driver and the CLI help text reference these so the
+#: documented defaults can never desync from the engine's.
+DEFAULT_BATCH_SIZE = 16384
+DEFAULT_INITIAL_BATCH_SIZE = 64
+
+
+def batch_windows(n, batch_size, initial_batch_size, marks=()):
+    """Yield ``(lo, hi)`` stream windows under the doubling ramp.
+
+    The single source of truth for the batched schedule: sizes ramp
+    from ``initial_batch_size`` doubling up to ``batch_size``, and
+    windows split so each mark in ``marks`` (stream offsets, exclusive
+    upper bounds) lands exactly on a window boundary.  Both
+    :class:`BatchedEngine` and the multi-query driver
+    (:class:`repro.query.driver.MultiQueryDriver`) iterate this, which
+    is what makes their checkpoint-exactness and run-for-run parity
+    structural rather than coincidental.
+    """
+    marks = sorted(marks)
+    mark_index = 0
+    lo = 0
+    size = min(initial_batch_size, batch_size)
+    while lo < n:
+        hi = min(lo + size, n)
+        while mark_index < len(marks) and marks[mark_index] <= lo:
+            mark_index += 1
+        if mark_index < len(marks) and marks[mark_index] < hi:
+            hi = marks[mark_index]  # split so the mark is exact
+        yield lo, hi
+        lo = hi
+        size = min(size * 2, batch_size)
+
+
+def site_runs(window):
+    """Yield ``(site_id, order_positions)`` runs for one window.
+
+    One stable argsort groups the window's arrivals per site;
+    ``order_positions`` indexes *into the window* (add the window's
+    ``lo`` for stream positions), with each site's arrivals kept in
+    global order.  Requires numpy.
+    """
+    order = _np.argsort(window, kind="stable")
+    sites_sorted = window[order]
+    run_starts = _np.flatnonzero(
+        _np.r_[True, sites_sorted[1:] != sites_sorted[:-1]]
+    )
+    run_ends = _np.r_[run_starts[1:], len(sites_sorted)]
+    for start, end in zip(run_starts, run_ends):
+        yield int(sites_sorted[start]), order[start:end]
+
+
+def site_buckets(assignment, items, lo, hi):
+    """Numpy-free counterpart of :func:`site_runs`: yield ascending
+    ``(site_id, window_items)`` buckets for one window, each site's
+    arrivals in global order.  Shared by the batched engine's and the
+    multi-query driver's fallback paths so their per-protocol replay
+    order can never drift apart."""
+    buckets = {}
+    for i in range(lo, hi):
+        buckets.setdefault(assignment[i], []).append(items[i])
+    for site_id in sorted(buckets):
+        yield site_id, buckets[site_id]
 
 
 class ItemBatch(Sequence):
@@ -107,7 +179,11 @@ class BatchedEngine(Engine):
 
     name = "batched"
 
-    def __init__(self, batch_size: int = 16384, initial_batch_size: int = 64) -> None:
+    def __init__(
+        self,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        initial_batch_size: int = DEFAULT_INITIAL_BATCH_SIZE,
+    ) -> None:
         if batch_size <= 0:
             raise ConfigurationError(
                 f"batch_size must be positive, got {batch_size}"
@@ -138,20 +214,15 @@ class BatchedEngine(Engine):
         base = network.items_processed
         want_checkpoints = checkpoints is not None and on_checkpoint is not None
         marks: List[int] = (
-            sorted(t - base for t in set(checkpoints) if base < t <= base + n)
+            [t - base for t in set(checkpoints) if base < t <= base + n]
             if want_checkpoints
             else []
         )
-        mark_index = 0
+        mark_set = set(marks)
         arrays = stream.arrays()
-        lo = 0
-        size = self.initial_batch_size
-        while lo < n:
-            hi = min(lo + size, n)
-            while mark_index < len(marks) and marks[mark_index] <= lo:
-                mark_index += 1
-            if mark_index < len(marks) and marks[mark_index] < hi:
-                hi = marks[mark_index]  # split so the checkpoint is exact
+        for lo, hi in batch_windows(
+            n, self.batch_size, self.initial_batch_size, marks
+        ):
             if arrays is not None:
                 self._run_window_numpy(network, items, arrays, lo, hi)
             else:
@@ -160,11 +231,8 @@ class BatchedEngine(Engine):
             t = network.items_processed
             if on_step is not None:
                 on_step(t)
-            if mark_index < len(marks) and marks[mark_index] == hi:
+            if hi in mark_set:
                 on_checkpoint(t)
-                mark_index += 1
-            lo = hi
-            size = min(size * 2, self.batch_size)
         return network.counters
 
     # -- one batch window ----------------------------------------------
@@ -176,18 +244,10 @@ class BatchedEngine(Engine):
         """Group the window per site with one stable argsort, then run
         each site's bulk hook on a zero-copy :class:`ItemBatch` view."""
         assignment, weights = arrays
-        window = assignment[lo:hi]
-        order = _np.argsort(window, kind="stable")
-        sites_sorted = window[order]
-        run_starts = _np.flatnonzero(
-            _np.r_[True, sites_sorted[1:] != sites_sorted[:-1]]
-        )
-        run_ends = _np.r_[run_starts[1:], len(sites_sorted)]
         deliver = network.deliver_upstream
         sites = network.sites
-        for start, end in zip(run_starts, run_ends):
-            site_id = int(sites_sorted[start])
-            positions = order[start:end] + lo
+        for site_id, order_positions in site_runs(assignment[lo:hi]):
+            positions = order_positions + lo
             batch = ItemBatch(items, positions, weights[positions])
             for message in sites[site_id].on_items(batch):
                 deliver(site_id, message)
@@ -198,13 +258,10 @@ class BatchedEngine(Engine):
     ) -> None:
         """Numpy-free fallback: bucket the window per site in plain
         Python; bulk hooks then fall back to their scalar paths."""
-        assignment = stream.assignment
-        items = stream.items
-        buckets = {}
-        for i in range(lo, hi):
-            buckets.setdefault(assignment[i], []).append(items[i])
         deliver = network.deliver_upstream
         sites = network.sites
-        for site_id in sorted(buckets):
-            for message in sites[site_id].on_items(buckets[site_id]):
+        for site_id, batch in site_buckets(
+            stream.assignment, stream.items, lo, hi
+        ):
+            for message in sites[site_id].on_items(batch):
                 deliver(site_id, message)

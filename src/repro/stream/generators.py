@@ -22,7 +22,6 @@ are reproducible; weights respect the paper's ``w >= 1`` normalization.
 
 from __future__ import annotations
 
-import math
 import random
 from typing import List, Optional, Sequence
 

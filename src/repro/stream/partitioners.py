@@ -11,7 +11,7 @@ centralized problem).
 from __future__ import annotations
 
 import random
-from typing import List, Sequence
+from typing import Sequence
 
 from ..common.errors import ConfigurationError
 from .item import DistributedStream, Item

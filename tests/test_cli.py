@@ -14,13 +14,38 @@ class TestParser:
 
     def test_swor_defaults(self):
         args = build_parser().parse_args(["swor"])
-        assert args.sites == 16 and args.sample == 16 and args.seed == 0
+        # --seed defaults to None at parse time; main() resolves it to
+        # the global --seed (or 0) before dispatch.
+        assert args.sites == 16 and args.sample == 16 and args.seed is None
 
     def test_all_subcommands_parse(self):
         parser = build_parser()
-        for cmd in ("swor", "swr", "hh", "l1", "bounds"):
+        for cmd in ("swor", "swr", "hh", "l1", "query", "bounds"):
             args = parser.parse_args([cmd])
             assert args.command == cmd
+
+    def test_global_seed_parses(self):
+        args = build_parser().parse_args(["--seed", "5", "swor"])
+        assert args.global_seed == 5 and args.seed is None
+
+    def test_version_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_help_mentions_engine_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["swor"])
+        assert args.engine == "reference"
+        # The help strings must state the defaults.
+        swor_help = next(
+            a for a in parser._subparsers._group_actions[0].choices.values()
+            if a.prog.endswith("swor")
+        ).format_help()
+        flat = " ".join(swor_help.split())
+        assert "default: reference" in flat
+        assert "16384" in flat
 
 
 class TestCommands:
@@ -72,3 +97,67 @@ class TestCommands:
         main(["swor", "--items", "2000", "--seed", "8"])
         second = capsys.readouterr().out
         assert first != second
+
+    def test_global_seed_equals_subcommand_seed(self, capsys):
+        main(["--seed", "7", "swor", "--items", "2000"])
+        global_form = capsys.readouterr().out
+        main(["swor", "--items", "2000", "--seed", "7"])
+        local_form = capsys.readouterr().out
+        assert global_form == local_form
+
+    def test_subcommand_seed_overrides_global(self, capsys):
+        main(["--seed", "3", "swor", "--items", "2000", "--seed", "7"])
+        overridden = capsys.readouterr().out
+        main(["swor", "--items", "2000", "--seed", "7"])
+        local_form = capsys.readouterr().out
+        assert overridden == local_form
+
+    def test_query_output(self, capsys):
+        code = main(["query", "--items", "4000", "--sites", "4", "--sample", "16"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "concurrent queries over one pass" in out
+        assert "total_weight" in out and "heavy_hitters" in out
+        assert "ci95" in out and "total_messages=" in out
+
+    def test_query_rejects_zero_batch_size(self):
+        from repro.common import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(
+                [
+                    "query",
+                    "--items",
+                    "1000",
+                    "--sites",
+                    "4",
+                    "--engine",
+                    "batched",
+                    "--batch-size",
+                    "0",
+                ]
+            )
+
+    def test_query_batch_size_requires_batched_engine(self):
+        with pytest.raises(SystemExit):
+            main(["query", "--items", "1000", "--batch-size", "64"])
+
+    def test_query_batched_engine(self, capsys):
+        code = main(
+            [
+                "query",
+                "--items",
+                "4000",
+                "--sites",
+                "4",
+                "--sample",
+                "16",
+                "--engine",
+                "batched",
+                "--batch-size",
+                "512",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "engine=batched" in out

@@ -9,7 +9,6 @@ the closed-form bounds with generous constants.
 
 from __future__ import annotations
 
-import math
 import random
 from collections import Counter
 
@@ -30,7 +29,6 @@ from repro.core import (
     SworConfig,
 )
 from repro.stream import (
-    DistributedStream,
     Item,
     PARTITIONERS,
     planted_heavy_hitter_stream,

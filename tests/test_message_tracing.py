@@ -10,7 +10,6 @@ only after its saturation broadcast.
 from __future__ import annotations
 
 import random
-from collections import Counter
 
 from repro.core import DistributedWeightedSWOR, SworConfig, level_of
 from repro.net import MessageTrace

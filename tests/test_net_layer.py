@@ -16,7 +16,7 @@ from repro.net import (
     Network,
     SiteAlgorithm,
 )
-from repro.stream import DistributedStream, Item, round_robin, unit_stream
+from repro.stream import Item, round_robin, unit_stream
 
 
 class TestMessage:
@@ -60,6 +60,37 @@ class TestMessageCounters:
         assert snap["total"] == 1
         assert snap["kind:early"] == 1
         assert "words" in snap
+
+    def test_word_cache_matches_fresh_accounting(self):
+        # The same message object counted twice (e.g. shared across the
+        # multi-query driver's deliveries) must cost the same words as
+        # two identical fresh objects.
+        shared = Message("early", (1, 2.0))
+        twice = MessageCounters()
+        twice.record_upstream(shared)
+        twice.record_upstream(shared)
+        fresh = MessageCounters()
+        fresh.record_upstream(Message("early", (1, 2.0)))
+        fresh.record_upstream(Message("early", (1, 2.0)))
+        assert twice.words == fresh.words
+        assert twice.max_message_words == fresh.max_message_words
+
+
+class TestSimulatorShim:
+    def test_deprecated_attribute_access_warns(self):
+        import importlib
+
+        simulator = importlib.import_module("repro.net.simulator")
+        with pytest.warns(DeprecationWarning, match="repro.runtime"):
+            shim_network = simulator.Network
+        assert shim_network is Network
+
+    def test_unknown_attribute_raises(self):
+        import importlib
+
+        simulator = importlib.import_module("repro.net.simulator")
+        with pytest.raises(AttributeError):
+            simulator.NoSuchThing
 
 
 class TestFifoChannel:

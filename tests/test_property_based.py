@@ -178,7 +178,7 @@ class TestDistributedStreamProperties:
         assignment = [rng.randrange(k) for _ in range(n)]
         stream = DistributedStream(items, assignment, k)
         locals_ = stream.local_streams()
-        assert sum(len(l) for l in locals_) == n
+        assert sum(len(local) for local in locals_) == n
         rebuilt = sorted(
             (item for local in locals_ for item in local),
             key=lambda it: it.ident,

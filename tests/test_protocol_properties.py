@@ -9,7 +9,6 @@ guarantees and internally-consistent accounting.
 
 from __future__ import annotations
 
-import random
 
 from hypothesis import given, settings, strategies as st
 

@@ -142,7 +142,7 @@ class TestBatchedDistribution:
         stat, df = chi_square_statistic(counts, expected)
         pvalue = chi_square_pvalue(stat, df)
         assert pvalue > 1e-4, (
-            f"batched sample deviates from the exact SWOR law "
+            "batched sample deviates from the exact SWOR law "
             f"(chi2={stat:.2f}, p={pvalue:.2e})"
         )
 
