@@ -1,0 +1,188 @@
+"""Columnar runtime benchmark: zero-object fast path vs batched engine.
+
+The tentpole claims of the columnar runtime, pinned at the million-item
+scale the ROADMAP's north star demands:
+
+1. **Throughput** — the columnar engine must deliver **>= 2.5x**
+   items/sec over the PR-1 batched engine on a 1M-item / 64-site
+   weighted-SWOR run, with **bit-identical** samples *and* message
+   counters (same RNG draw order, same word accounting — the fast path
+   buys speed, never different answers).
+2. **Memory** — building a million-item stream as a
+   :class:`~repro.stream.columns.ColumnarStream` (chunked generation,
+   no ``Item`` list ever materialized) must peak at **>= 4x less**
+   memory (tracemalloc) than the ``Item``-list construction of an
+   equivalent :class:`~repro.stream.item.DistributedStream`.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_columnar.py -q
+
+Environment knobs (used by the CI smoke job):
+
+* ``REPRO_BENCH_COL_ITEMS``        — stream length (default 1000000)
+* ``REPRO_BENCH_COL_SITES``        — number of sites (default 64)
+* ``REPRO_BENCH_COL_MIN_SPEEDUP``  — speedup gate (default 2.5)
+* ``REPRO_BENCH_COL_MIN_MEM_RATIO``— memory-ratio gate (default 4.0)
+* ``REPRO_BENCH_COL_JSON``         — path to write the result as JSON
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+import tracemalloc
+
+from repro.analysis import format_table
+from repro.core import DistributedWeightedSWOR, SworConfig
+from repro.stream import round_robin, zipf_stream
+from repro.stream.columns import ColumnarStream, columnar_zipf_stream
+
+ITEMS = int(os.environ.get("REPRO_BENCH_COL_ITEMS", 1_000_000))
+SITES = int(os.environ.get("REPRO_BENCH_COL_SITES", 64))
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_COL_MIN_SPEEDUP", 2.5))
+MIN_MEM_RATIO = float(os.environ.get("REPRO_BENCH_COL_MIN_MEM_RATIO", 4.0))
+JSON_PATH = os.environ.get("REPRO_BENCH_COL_JSON")
+SAMPLE = 16
+SEED = 1
+REPS = 3  # timing repetitions per engine (best-of)
+
+
+def _make_stream():
+    rng = random.Random(0)
+    stream = round_robin(zipf_stream(ITEMS, rng, alpha=1.2), SITES)
+    stream.arrays()  # build the SoA cache outside the timed regions
+    return stream
+
+
+def _run_once(stream, engine):
+    proto = DistributedWeightedSWOR(
+        SworConfig(num_sites=SITES, sample_size=SAMPLE),
+        seed=SEED,
+        engine=engine,
+    )
+    t0 = time.perf_counter()
+    proto.run(stream)
+    return time.perf_counter() - t0, proto
+
+
+def _measure(stream, engine):
+    best_time, proto = min(
+        (_run_once(stream, engine) for _ in range(REPS)),
+        key=lambda pair: pair[0],
+    )
+    return best_time, proto
+
+
+def _measure_memory():
+    """Peak tracemalloc bytes: Item-list construction vs chunked columns."""
+    tracemalloc.start()
+    items = zipf_stream(ITEMS, random.Random(0), alpha=1.2)
+    stream = round_robin(items, SITES)
+    object_peak = tracemalloc.get_traced_memory()[1]
+    tracemalloc.stop()
+    del items, stream
+    tracemalloc.start()
+    columnar = columnar_zipf_stream(ITEMS, SITES, seed=0, alpha=1.2)
+    columnar_peak = tracemalloc.get_traced_memory()[1]
+    tracemalloc.stop()
+    del columnar
+    return object_peak, columnar_peak
+
+
+def _bench(report_fn):
+    stream = _make_stream()
+    bat_time, bat_proto = _measure(stream, "batched")
+    col_time, col_proto = _measure(stream, "columnar")
+    # End-to-end zero-object: the same run off a ColumnarStream (lazy
+    # Item view only touched by scalar fallbacks) must agree too.
+    cs = ColumnarStream.from_distributed(stream)
+    cs_time, cs_proto = _measure(cs, "columnar")
+
+    speedup = bat_time / col_time
+    samples_identical = (
+        bat_proto.sample_with_keys()
+        == col_proto.sample_with_keys()
+        == cs_proto.sample_with_keys()
+    )
+    counters_identical = (
+        bat_proto.counters.snapshot()
+        == col_proto.counters.snapshot()
+        == cs_proto.counters.snapshot()
+    )
+    object_peak, columnar_peak = _measure_memory()
+    mem_ratio = object_peak / columnar_peak
+
+    rows = [
+        {
+            "engine": "batched",
+            "seconds": round(bat_time, 4),
+            "items_per_sec": round(ITEMS / bat_time),
+        },
+        {
+            "engine": "columnar (DistributedStream)",
+            "seconds": round(col_time, 4),
+            "items_per_sec": round(ITEMS / col_time),
+        },
+        {
+            "engine": "columnar (ColumnarStream)",
+            "seconds": round(cs_time, 4),
+            "items_per_sec": round(ITEMS / cs_time),
+        },
+    ]
+    result = {
+        "items": ITEMS,
+        "sites": SITES,
+        "sample_size": SAMPLE,
+        "batched_seconds": round(bat_time, 4),
+        "columnar_seconds": round(col_time, 4),
+        "columnar_stream_seconds": round(cs_time, 4),
+        "batched_items_per_sec": round(ITEMS / bat_time),
+        "columnar_items_per_sec": round(ITEMS / col_time),
+        "speedup": round(speedup, 3),
+        "min_speedup": MIN_SPEEDUP,
+        "samples_identical": samples_identical,
+        "counters_identical": counters_identical,
+        "object_construction_peak_bytes": object_peak,
+        "columnar_construction_peak_bytes": columnar_peak,
+        "memory_ratio": round(mem_ratio, 3),
+        "min_memory_ratio": MIN_MEM_RATIO,
+        "messages_total": bat_proto.counters.total,
+    }
+    report_fn(
+        format_table(
+            rows,
+            title=f"columnar runtime: weighted SWOR, {ITEMS} items, "
+            f"k={SITES}, s={SAMPLE}",
+            caption=f"speedup {speedup:.2f}x (target >= {MIN_SPEEDUP}x), "
+            f"samples identical: {samples_identical}, counters identical: "
+            f"{counters_identical}; stream construction peak "
+            f"{object_peak / 1e6:.1f} MB (objects) vs "
+            f"{columnar_peak / 1e6:.1f} MB (columns) = {mem_ratio:.2f}x "
+            f"(target >= {MIN_MEM_RATIO}x)",
+        )
+    )
+    if JSON_PATH:
+        with open(JSON_PATH, "w") as fh:
+            json.dump(result, fh, indent=2)
+    return result
+
+
+def test_columnar_speedup_and_parity(benchmark, report):
+    result = benchmark.pedantic(lambda: _bench(report), rounds=1, iterations=1)
+    assert result["samples_identical"], (
+        "columnar samples diverged from the batched engine"
+    )
+    assert result["counters_identical"], (
+        "columnar message counters diverged from the batched engine"
+    )
+    assert result["speedup"] >= MIN_SPEEDUP, (
+        f"columnar engine only {result['speedup']:.2f}x faster than batched "
+        f"(target >= {MIN_SPEEDUP}x)"
+    )
+    assert result["memory_ratio"] >= MIN_MEM_RATIO, (
+        f"columnar construction only {result['memory_ratio']:.2f}x lighter "
+        f"than the Item list (target >= {MIN_MEM_RATIO}x)"
+    )

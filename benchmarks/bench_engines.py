@@ -12,10 +12,19 @@ Run with::
     PYTHONPATH=src python -m pytest benchmarks/bench_engines.py -q
 
 (add ``--benchmark-only`` alongside the rest of the suite).
+
+Environment knobs (used by the CI smoke job):
+
+* ``REPRO_BENCH_ENG_ITEMS``       — stream length (default 200000)
+* ``REPRO_BENCH_ENG_SITES``       — number of sites (default 32)
+* ``REPRO_BENCH_ENG_MIN_SPEEDUP`` — speedup gate (default 3.0)
+* ``REPRO_BENCH_ENG_JSON``        — path to write the result as JSON
 """
 
 from __future__ import annotations
 
+import json
+import os
 import random
 import time
 
@@ -24,7 +33,11 @@ from repro.core import DistributedWeightedSWOR, SworConfig
 from repro.runtime import BatchedEngine
 from repro.stream import round_robin, zipf_stream
 
-ITEMS, SITES, SAMPLE = 200_000, 32, 16
+ITEMS = int(os.environ.get("REPRO_BENCH_ENG_ITEMS", 200_000))
+SITES = int(os.environ.get("REPRO_BENCH_ENG_SITES", 32))
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_ENG_MIN_SPEEDUP", 3.0))
+JSON_PATH = os.environ.get("REPRO_BENCH_ENG_JSON")
+SAMPLE = 16
 SEEDS = (1, 2, 3)
 REPS = 3  # timing repetitions per engine (best-of)
 
@@ -75,11 +88,27 @@ def _bench(report_fn):
     report_fn(
         format_table(
             rows,
-            title="engine shoot-out: weighted SWOR, 200k items, k=32, s=16",
-            caption=f"speedup {speedup:.2f}x (target >= 3x), worst message "
-            f"ratio {msg_ratio:.2f}x (target <= 1.5x)",
+            title=f"engine shoot-out: weighted SWOR, {ITEMS} items, "
+            f"k={SITES}, s={SAMPLE}",
+            caption=f"speedup {speedup:.2f}x (target >= {MIN_SPEEDUP}x), "
+            f"worst message ratio {msg_ratio:.2f}x (target <= 1.5x)",
         )
     )
+    if JSON_PATH:
+        result = {
+            "items": ITEMS,
+            "sites": SITES,
+            "sample_size": SAMPLE,
+            "reference_seconds": round(ref_time, 4),
+            "batched_seconds": round(bat_time, 4),
+            "reference_items_per_sec": round(ITEMS / ref_time),
+            "batched_items_per_sec": round(ITEMS / bat_time),
+            "speedup": round(speedup, 3),
+            "min_speedup": MIN_SPEEDUP,
+            "worst_message_ratio": round(msg_ratio, 4),
+        }
+        with open(JSON_PATH, "w") as fh:
+            json.dump(result, fh, indent=2)
     return speedup, msg_ratio
 
 
@@ -87,7 +116,7 @@ def test_batched_engine_speedup_and_message_overhead(benchmark, report):
     speedup, msg_ratio = benchmark.pedantic(
         lambda: _bench(report), rounds=1, iterations=1
     )
-    assert speedup >= 3.0, f"batched engine only {speedup:.2f}x faster"
+    assert speedup >= MIN_SPEEDUP, f"batched engine only {speedup:.2f}x faster"
     assert msg_ratio <= 1.5, f"batched engine message overhead {msg_ratio:.2f}x"
 
 

@@ -1,0 +1,149 @@
+"""Compare fresh benchmark JSONs against the committed baselines.
+
+The perf trajectory lives in ``benchmarks/baselines/BENCH_*.json`` —
+one JSON per benchmark, recorded at the CI smoke configuration (the
+``REPRO_BENCH_*`` env knobs printed inside each file).  The CI
+benchmark-smoke job re-runs each benchmark at the same configuration
+and calls this script, which **fails on a >20% regression** of any
+tracked throughput metric.
+
+Tracked metrics are *relative* (engine speedups, memory ratios): they
+normalize out the absolute speed of the host, so a laptop, this
+container, and a shared CI runner can all be compared against the same
+committed numbers.  Absolute items/sec values are carried in the JSONs
+for the record but not gated (cross-machine noise would make the gate
+meaningless); pass ``--absolute`` to gate them too when comparing runs
+from the same machine.
+
+Usage::
+
+    python benchmarks/compare_baselines.py \
+        --baseline-dir benchmarks/baselines --fresh-dir . \
+        [--max-regression 0.20] [--absolute]
+
+Fresh files must use the same names as the baselines
+(``BENCH_engines.json`` etc.); the script verifies the workload
+configuration (items/sites/...) matches before comparing, so a
+misconfigured run fails loudly instead of comparing apples to oranges.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List
+
+#: Per-benchmark spec: which keys identify the workload configuration
+#: and which higher-is-better ratio metrics are gated.
+BASELINES: Dict[str, Dict[str, List[str]]] = {
+    "BENCH_engines.json": {
+        "config": ["items", "sites", "sample_size"],
+        "ratios": ["speedup"],
+        "absolute": ["batched_items_per_sec"],
+    },
+    "BENCH_multiquery.json": {
+        "config": ["items", "sites", "sample_size", "num_queries"],
+        "ratios": ["speedup"],
+        "absolute": ["shared_items_per_sec"],
+    },
+    "BENCH_columnar.json": {
+        "config": ["items", "sites", "sample_size"],
+        "ratios": ["speedup", "memory_ratio"],
+        "absolute": ["columnar_items_per_sec"],
+    },
+}
+
+
+def compare_file(
+    name: str,
+    baseline: dict,
+    fresh: dict,
+    max_regression: float,
+    absolute: bool,
+) -> List[str]:
+    """Return a list of failure messages (empty when healthy)."""
+    spec = BASELINES[name]
+    failures = []
+    for key in spec["config"]:
+        if baseline.get(key) != fresh.get(key):
+            failures.append(
+                f"{name}: config mismatch on {key!r} "
+                f"(baseline {baseline.get(key)}, fresh {fresh.get(key)}) — "
+                "run the benchmark with the same REPRO_BENCH_* knobs the "
+                "baseline was recorded with"
+            )
+    if failures:
+        return failures
+    metrics = list(spec["ratios"]) + (spec["absolute"] if absolute else [])
+    for metric in metrics:
+        base = float(baseline[metric])
+        new = float(fresh[metric])
+        regression = (base - new) / base if base > 0 else 0.0
+        status = "OK" if regression <= max_regression else "REGRESSED"
+        print(
+            f"  {name}: {metric:24s} baseline={base:<10.3f} "
+            f"fresh={new:<10.3f} change={-regression:+.1%}  [{status}]"
+        )
+        if regression > max_regression:
+            failures.append(
+                f"{name}: {metric} regressed {regression:.1%} "
+                f"({base:.3f} -> {new:.3f}; limit {max_regression:.0%})"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline-dir",
+        default=os.path.join(os.path.dirname(__file__), "baselines"),
+    )
+    parser.add_argument("--fresh-dir", default=".")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        help="maximum tolerated fractional drop per metric (default 0.20)",
+    )
+    parser.add_argument(
+        "--absolute",
+        action="store_true",
+        help="also gate absolute items/sec (same-machine comparisons only)",
+    )
+    args = parser.parse_args(argv)
+
+    failures: List[str] = []
+    compared = 0
+    for name in sorted(BASELINES):
+        baseline_path = os.path.join(args.baseline_dir, name)
+        fresh_path = os.path.join(args.fresh_dir, name)
+        if not os.path.exists(baseline_path):
+            failures.append(f"missing committed baseline {baseline_path}")
+            continue
+        if not os.path.exists(fresh_path):
+            failures.append(
+                f"missing fresh result {fresh_path} — run the benchmark "
+                f"with REPRO_BENCH_*_JSON={name}"
+            )
+            continue
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+        with open(fresh_path) as fh:
+            fresh = json.load(fh)
+        failures.extend(
+            compare_file(name, baseline, fresh, args.max_regression, args.absolute)
+        )
+        compared += 1
+    if failures:
+        print("\nbenchmark baseline comparison FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {compared} benchmark baselines within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,8 +50,14 @@ from .l1 import (
 )
 from .net import MessageCounters, Network
 from .query import Estimate, MultiQueryDriver, QueryCatalog
-from .runtime import BatchedEngine, Engine, ReferenceEngine, get_engine
-from .stream import DistributedStream, Item
+from .runtime import (
+    BatchedEngine,
+    ColumnarEngine,
+    Engine,
+    ReferenceEngine,
+    get_engine,
+)
+from .stream import ColumnarStream, DistributedStream, Item
 
 __version__ = "1.0.0"
 
@@ -66,12 +72,14 @@ __all__ = [
     # stream & network
     "Item",
     "DistributedStream",
+    "ColumnarStream",
     "Network",
     "MessageCounters",
     # runtime engines
     "Engine",
     "ReferenceEngine",
     "BatchedEngine",
+    "ColumnarEngine",
     "get_engine",
     # core protocols
     "SworConfig",

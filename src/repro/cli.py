@@ -83,15 +83,22 @@ def build_parser() -> argparse.ArgumentParser:
             choices=sorted(ENGINES),
             default="reference",
             help="execution engine (reference = synchronous round model, "
-            "batched = vectorized chunked fast path; default: reference)",
+            "batched = vectorized chunked fast path, columnar = zero-object "
+            "pack fast path, bit-identical to batched; default: reference)",
         )
         p.add_argument(
             "--batch-size",
             type=int,
             default=None,
-            help="steady-state batch size for --engine batched "
+            help="steady-state batch size for --engine batched/columnar "
             f"(default: {DEFAULT_BATCH_SIZE}, ramping up from "
             f"{DEFAULT_INITIAL_BATCH_SIZE})",
+        )
+        p.add_argument(
+            "--profile",
+            action="store_true",
+            help="profile the run with cProfile and dump the top 20 "
+            "functions by cumulative time to stderr",
         )
 
     def common(p: argparse.ArgumentParser) -> None:
@@ -155,8 +162,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _check_engine_flags(args: argparse.Namespace) -> None:
     """Shared flag validation for every subcommand."""
-    if args.batch_size is not None and args.engine != "batched":
-        raise SystemExit("--batch-size requires --engine batched")
+    if args.batch_size is not None and args.engine not in ("batched", "columnar"):
+        raise SystemExit("--batch-size requires --engine batched or columnar")
 
 
 def _engine_of(args: argparse.Namespace):
@@ -406,7 +413,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     _resolve_seed(args)
-    output = _COMMANDS[args.command](args)
+    command = _COMMANDS[args.command]
+    if getattr(args, "profile", False):
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        output = command(args)
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(20)
+    else:
+        output = command(args)
     print(output)
     return 0
 

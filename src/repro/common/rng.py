@@ -134,7 +134,7 @@ class BatchRandom:
         if self._gen is None:
             return [exponential(self._rng) for _ in range(n)]
         draws = self._gen.standard_exponential(n)
-        return _np.maximum(draws, 1e-300)
+        return _np.maximum(draws, 1e-300, out=draws)
 
     def uniforms(self, n: int):
         """``n`` i.i.d. uniforms in ``(0, 1)`` (ndarray, or list)."""

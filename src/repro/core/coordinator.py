@@ -15,8 +15,14 @@ Responsibilities:
 
 from __future__ import annotations
 
+import math
 import random
 from typing import List, Tuple
+
+try:  # optional: the bulk pack path (packs only exist with numpy)
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None  # type: ignore[assignment]
 
 from ..common.errors import ProtocolViolationError
 from ..common.rng import exponential
@@ -97,6 +103,13 @@ class SworCoordinator(CoordinatorAlgorithm):
             item = Item(ident, weight)
             level = level_of(weight, self._r)
         key = weight / exponential(self._rng)
+        return self._early_core(item, level, key)
+
+    def _early_core(
+        self, item: Item, level: int, key: float
+    ) -> List[Tuple[int, Message]]:
+        """Algorithm 2 lines 8-17 for one early item with its key
+        already generated (shared by the per-message and pack paths)."""
         if self.levels.is_saturated(level):
             # The sender filtered on a stale saturation view (its
             # LEVEL_SATURATED broadcast is still in flight — possible
@@ -119,12 +132,149 @@ class SworCoordinator(CoordinatorAlgorithm):
     def _on_regular(self, message: Message) -> List[Tuple[int, Message]]:
         ident, weight, key = message.payload
         self.regular_received += 1
+        return self._regular_core(ident, weight, key)
+
+    def _regular_core(
+        self, ident: int, weight: float, key: float
+    ) -> List[Tuple[int, Message]]:
         if key <= self.sample_set.threshold:
             # Site filtered on a stale (smaller) epoch threshold; the
             # coordinator's check (Algorithm 2 line 19) discards.
             return []
         self.regular_accepted += 1
         return self._add_to_sample(Item(ident, weight), key)
+
+    # -- bulk path: one pack per (site, batch) --------------------------
+
+    def on_message_pack(self, site_id: int, pack) -> List[Tuple[int, Message]]:
+        """Columnar Algorithms 2-3 over a whole site batch.
+
+        Early keys are drawn first, in delivery order, with exactly the
+        scalar path's RNG consumption — so samples stay bit-identical
+        to per-message processing.  The *fast path* then commits the
+        pack in bulk: earlies are parked level-by-level with one list
+        extend each, and regulars are re-checked against the live
+        threshold with one boolean mask before a single
+        ``np.partition`` top-``s`` merge folds the survivors into the
+        sample.  The fast path is only taken when the pack provably
+        emits no broadcast — no early touches a saturated (or
+        about-to-saturate) level, and the merged threshold stays inside
+        the current epoch bracket; pack processing is then
+        indistinguishable from sequential delivery.  Otherwise (a
+        logarithmic number of packs per run) the pack is replayed
+        message by message, which reproduces the sequential semantics —
+        including broadcast timing — exactly.
+
+        One observability stat differs on the fast path:
+        ``regular_accepted`` counts the survivors of the
+        pack-entry threshold, whereas sequential processing re-checks
+        each regular against the threshold *as it evolves* within the
+        batch; the sample itself is identical either way (rejected
+        candidates can never be among the final top ``s``).
+        """
+        ne = pack.num_early
+        early_keys: List[float] = []
+        levels_list: List[int] = []
+        early_items = None
+        if ne:
+            if not self.config.level_sets_enabled:
+                raise ProtocolViolationError(
+                    "early message received but level sets are disabled"
+                )
+            # Identical RNG consumption to ne scalar exponential() draws.
+            rand = self._rng.random
+            log = math.log
+            weights_list = pack.early_weights.tolist()
+            for w in weights_list:
+                u = rand()
+                while u <= 0.0:
+                    u = rand()
+                early_keys.append(w / -log(u))
+            levels_list = pack.early_levels.tolist()
+            early_items = pack.early_items
+            if early_items is None:
+                ids = pack.early_idents.tolist()
+                early_items = [
+                    Item(ids[i], weights_list[i]) for i in range(ne)
+                ]
+        fast = True
+        grouped: dict = {}
+        if ne:
+            for i in range(ne):
+                grouped.setdefault(levels_list[i], []).append(i)
+            for lv, indices in grouped.items():
+                if not self.levels.can_absorb(lv, len(indices)):
+                    fast = False
+                    break
+        nr = pack.num_regular
+        surv_ids = surv_ws = surv_keys = None
+        accepted = 0
+        if fast and nr:
+            threshold = self.sample_set.threshold
+            keys = pack.regular_keys
+            if nr <= 32:  # scalar path: numpy call overhead dwarfs tiny packs
+                keys_list = keys.tolist()
+                idx = [i for i, k in enumerate(keys_list) if k > threshold]
+                accepted = len(idx)
+                if accepted:
+                    ids = pack.regular_idents.tolist()
+                    ws = pack.regular_weights.tolist()
+                    surv_ids = [ids[i] for i in idx]
+                    surv_ws = [ws[i] for i in idx]
+                    surv_keys = [keys_list[i] for i in idx]
+            else:
+                send = keys > threshold
+                accepted = int(_np.count_nonzero(send))
+                if accepted:
+                    surv_ids = pack.regular_idents[send]
+                    surv_ws = pack.regular_weights[send]
+                    surv_keys = keys[send]
+            if accepted and self.epochs.would_announce(
+                self.sample_set.merged_threshold(surv_keys)
+            ):
+                fast = False
+        if not fast:
+            return self._replay_pack(pack, early_items, early_keys, levels_list)
+        if ne:
+            self.early_received += ne
+            for lv, indices in grouped.items():
+                self.levels.add_many(
+                    lv, [(early_items[i], early_keys[i]) for i in indices]
+                )
+        if nr:
+            self.regular_received += nr
+            if accepted:
+                self.regular_accepted += accepted
+                self.sample_set.merge_columns(surv_ids, surv_ws, surv_keys)
+                announce = self.epochs.observe_threshold(self.sample_set.threshold)
+                if announce is not None:  # pragma: no cover - precluded above
+                    return [(BROADCAST, Message(EPOCH_UPDATE, (announce,)))]
+        return []
+
+    def _replay_pack(
+        self,
+        pack,
+        early_items,
+        early_keys: List[float],
+        levels_list: List[int],
+    ) -> List[Tuple[int, Message]]:
+        """Sequential pack replay with pre-drawn early keys and
+        pre-built early Items — the exact per-message semantics, used
+        when a pack would saturate a level or cross an epoch boundary."""
+        responses: List[Tuple[int, Message]] = []
+        for i in range(pack.num_early):
+            self.early_received += 1
+            responses.extend(
+                self._early_core(early_items[i], levels_list[i], early_keys[i])
+            )
+        if pack.num_regular:
+            ids = pack.regular_idents.tolist()
+            ws = pack.regular_weights.tolist()
+            keys = pack.regular_keys.tolist()
+            for i in range(len(keys)):
+                self.regular_received += 1
+                responses.extend(self._regular_core(ids[i], ws[i], keys[i]))
+        return responses
 
     # -- Algorithm 3: Add-to-Sample --------------------------------------
 

@@ -46,6 +46,13 @@ class EpochTracker:
         """Current epoch index (None before ``u`` first reaches 1)."""
         return self._epoch
 
+    def would_announce(self, u: float) -> bool:
+        """Whether :meth:`observe_threshold(u)` would broadcast —
+        *pure*, so bulk paths can test an epoch crossing before
+        committing a merge."""
+        new_epoch = self._epoch_of(u, self.r)
+        return new_epoch is not None and new_epoch != self._epoch
+
     def observe_threshold(self, u: float) -> Optional[float]:
         """Update with the new threshold; return ``r^j`` if the epoch
         changed (the value to broadcast), else ``None``."""

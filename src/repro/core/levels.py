@@ -145,6 +145,30 @@ class LevelSetManager:
             return bucket
         return None
 
+    def can_absorb(self, level: int, count: int) -> bool:
+        """Whether ``count`` more earlies can be parked in ``level``
+        without touching a saturated level or triggering saturation —
+        the precondition of :meth:`add_many` (saturation events must
+        take the sequential path so the release point stays exact)."""
+        if level in self._saturated:
+            return False
+        return len(self._pending.get(level, ())) + count < self.saturation_size
+
+    def add_many(self, level: int, entries: List[Tuple[Item, float]]) -> None:
+        """Park a batch of pre-keyed entries in one unsaturated level.
+
+        Bulk counterpart of :meth:`add` for the coordinator's columnar
+        pack path; entries must be in arrival order and the caller must
+        have checked :meth:`can_absorb` first.
+        """
+        if not self.can_absorb(level, len(entries)):
+            raise ProtocolViolationError(
+                f"bulk park of {len(entries)} items would saturate (or hit "
+                f"an already-saturated) level {level}; use sequential add"
+            )
+        self._pending.setdefault(level, []).extend(entries)
+        self.early_items_received += len(entries)
+
     def pending_entries(self) -> List[Tuple[Item, float]]:
         """All withheld ``(item, key)`` pairs across unsaturated levels.
 

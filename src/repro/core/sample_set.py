@@ -4,12 +4,31 @@ Algorithm 3 ("Add-to-Sample") maintains the invariant that ``S`` holds
 the items with the ``s`` largest keys seen by the sampler, and exposes
 ``u``, the smallest key in a full ``S`` — the quantity whose epoch
 bracket drives all site-side filtering.
+
+Two mutation paths share the invariant:
+
+* :meth:`TopKeySample.add` — one ``heapreplace`` per arrival (the
+  paper's per-round model);
+* :meth:`TopKeySample.merge_columns` — the columnar runtime's bulk
+  fold: one ``np.partition`` selects the surviving top-``s`` over the
+  old set plus a whole batch of candidates, and the heap is rebuilt
+  once.  ``Item`` objects are created only for candidates that
+  actually survive.
+
+The sorted query view (:meth:`entries` / :meth:`items`) is computed
+once per mutation epoch and cached — checkpoint-heavy runs used to pay
+``O(s log s)`` per snapshot, every snapshot.
 """
 
 from __future__ import annotations
 
 import heapq
 from typing import List, Optional, Tuple
+
+try:  # optional: bulk top-s merge for the columnar runtime
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None  # type: ignore[assignment]
 
 from ..common.errors import ConfigurationError
 from ..stream.item import Item
@@ -33,6 +52,7 @@ class TopKeySample:
         self.sample_size = sample_size
         self._heap: List[Tuple[float, int, Item]] = []
         self._counter = 0  # tiebreak so equal keys stay heap-comparable
+        self._sorted: Optional[List[Tuple[Item, float]]] = None
 
     def add(self, item: Item, key: float) -> Optional[Item]:
         """Insert ``(item, key)``; evict and return the displaced item.
@@ -47,11 +67,97 @@ class TopKeySample:
         self._counter += 1
         if len(self._heap) < self.sample_size:
             heapq.heappush(self._heap, entry)
+            self._sorted = None
             return None
         if key <= self._heap[0][0]:
             return item
         evicted = heapq.heapreplace(self._heap, entry)
+        self._sorted = None
         return evicted[2]
+
+    # -- bulk path (columnar runtime) ----------------------------------
+
+    def merged_threshold(self, keys) -> float:
+        """The threshold ``u`` that :meth:`merge_columns` with these
+        candidate ``keys`` would leave behind — computed *without*
+        mutating, so callers (the coordinator's pack path) can decide
+        whether the merge crosses an epoch boundary before committing.
+        """
+        total = len(self._heap) + len(keys)
+        if total < self.sample_size:
+            return 0.0
+        old = _np.fromiter(
+            (e[0] for e in self._heap), dtype=_np.float64, count=len(self._heap)
+        )
+        merged = _np.concatenate([old, _np.asarray(keys, dtype=_np.float64)])
+        cut_index = total - self.sample_size
+        return float(_np.partition(merged, cut_index)[cut_index])
+
+    def merge_columns(self, idents, weights, keys) -> int:
+        """Fold a batch of candidate columns into ``S`` in one rebuild.
+
+        Candidates must already be strictly above the current
+        :attr:`threshold` (callers mask first).  The final set equals
+        what per-candidate :meth:`add` calls in arrival order would
+        produce — sequential insertion into a top-``s`` structure keeps
+        exactly the ``s`` largest keys of the union, which is what the
+        single ``np.partition`` selects here — while touching the heap
+        once and building ``Item`` objects only for survivors.  On key
+        ties at the selection boundary (measure-zero for continuous
+        keys) it falls back to exact sequential insertion.  Returns the
+        number of candidates that ended up in the set.
+        """
+        n = len(keys)
+        if n == 0:
+            return 0
+        heap = self._heap
+        free = self.sample_size - len(heap)
+        if n <= free:
+            for i in range(n):
+                heapq.heappush(
+                    heap,
+                    (
+                        float(keys[i]),
+                        self._counter,
+                        Item(int(idents[i]), float(weights[i])),
+                    ),
+                )
+                self._counter += 1
+            self._sorted = None
+            return n
+        cand = _np.asarray(keys, dtype=_np.float64)
+        old = _np.fromiter(
+            (e[0] for e in heap), dtype=_np.float64, count=len(heap)
+        )
+        merged = _np.concatenate([old, cand])
+        cut_index = len(merged) - self.sample_size
+        cut = float(_np.partition(merged, cut_index)[cut_index])
+        if int((merged == cut).sum()) != 1:
+            # Ambiguous boundary — replay the exact per-item semantics.
+            kept = 0
+            for i in range(n):
+                key = float(cand[i])
+                if key > self.threshold:
+                    self.add(Item(int(idents[i]), float(weights[i])), key)
+                    kept += 1
+            return kept
+        new_heap = [e for e in heap if e[0] >= cut]
+        kept_idx = _np.flatnonzero(cand >= cut).tolist()
+        for i in kept_idx:
+            new_heap.append(
+                (
+                    float(cand[i]),
+                    self._counter,
+                    Item(int(idents[i]), float(weights[i])),
+                )
+            )
+            self._counter += 1
+        heapq.heapify(new_heap)
+        self._heap = new_heap
+        self._sorted = None
+        return len(kept_idx)
+
+    # -- queries -------------------------------------------------------
 
     @property
     def threshold(self) -> float:
@@ -64,13 +170,22 @@ class TopKeySample:
     def full(self) -> bool:
         return len(self._heap) >= self.sample_size
 
+    def _sorted_view(self) -> List[Tuple[Item, float]]:
+        """The decreasing-key view, re-sorted only after a mutation."""
+        if self._sorted is None:
+            self._sorted = [
+                (e[2], e[0]) for e in sorted(self._heap, key=lambda e: -e[0])
+            ]
+        return self._sorted
+
     def entries(self) -> List[Tuple[Item, float]]:
-        """``(item, key)`` pairs in decreasing key order."""
-        return [(e[2], e[0]) for e in sorted(self._heap, key=lambda e: -e[0])]
+        """``(item, key)`` pairs in decreasing key order (cached per
+        mutation epoch; the returned list is the caller's to mutate)."""
+        return list(self._sorted_view())
 
     def items(self) -> List[Item]:
         """Sampled items in decreasing key order."""
-        return [e[2] for e in sorted(self._heap, key=lambda e: -e[0])]
+        return [item for item, _ in self._sorted_view()]
 
     def __len__(self) -> int:
         return len(self._heap)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import math
 import random
+from bisect import bisect_left
 from typing import List, Optional, Sequence
 
 try:  # optional: the vectorized bulk path of the batched engine
@@ -27,13 +28,47 @@ except ImportError:  # pragma: no cover - exercised on numpy-free installs
 
 from ..common.errors import ProtocolViolationError
 from ..common.rng import BatchRandom, LazyExponential, exponential
-from ..net.messages import EARLY, EPOCH_UPDATE, LEVEL_SATURATED, Message, REGULAR
+from ..net.messages import (
+    EARLY,
+    EPOCH_UPDATE,
+    LEVEL_SATURATED,
+    Message,
+    MessagePack,
+    REGULAR,
+)
 from ..runtime import SiteAlgorithm
 from ..stream.item import Item
 from .config import SworConfig
 from .levels import level_of, levels_of_array
 
 __all__ = ["SworSite"]
+
+
+class _WindowPrep:
+    """Per-window shared context built by :meth:`SworSite.prepare_window`.
+
+    ``levels`` spans the whole (site-sorted) window and is exact for
+    every arrival that can possibly be early under ``mask`` (it may be
+    a zero-filled placeholder for arrivals of provably saturated
+    levels, whose level index no consumer reads); ``saturated`` is the
+    per-arrival saturation lookup (``None`` when ``all_saturated``), and
+    ``all_saturated`` short-circuits the common steady-state window
+    where nothing is early.
+    """
+
+    __slots__ = ("levels", "mask", "saturated", "all_saturated", "early_positions")
+
+    def __init__(
+        self, levels, mask, saturated, all_saturated, early_positions=None
+    ) -> None:
+        self.levels = levels
+        self.mask = mask
+        self.saturated = saturated
+        self.all_saturated = all_saturated
+        #: Sorted window positions of the early arrivals (when known):
+        #: lets each site bisect its [start, end) slice instead of
+        #: reducing a boolean array to discover "no earlies here".
+        self.early_positions = early_positions
 
 
 class SworSite(SiteAlgorithm):
@@ -59,6 +94,10 @@ class SworSite(SiteAlgorithm):
         self._saturated_mask = 0
         self._threshold = 0.0  # u_i, last announced epoch floor r^j
         self._batch_rng: Optional[BatchRandom] = None
+        # Saturation lookup table cache for the columnar path (rebuilt
+        # only when the mask changes or a deeper level appears).
+        self._sat_table = None
+        self._sat_table_mask = -1
         self.items_seen = 0
         self.exponentials_generated = 0
         self.bits_generated = 0
@@ -106,11 +145,7 @@ class SworSite(SiteAlgorithm):
             levels = levels_of_array(weights, self._r)
             mask = self._saturated_mask
             if mask:
-                table = _np.fromiter(
-                    ((mask >> j) & 1 for j in range(int(levels.max()) + 1)),
-                    dtype=_np.bool_,
-                )
-                early = ~table[levels]
+                early = ~self._saturation_table(int(levels.max()))[levels]
             else:
                 early = _np.ones(n, dtype=_np.bool_)
             for i in _np.flatnonzero(early):
@@ -131,6 +166,168 @@ class SworSite(SiteAlgorithm):
             item = items[i]
             out.append(Message(REGULAR, (item.ident, item.weight, float(keys[j]))))
         return out
+
+    def prepare_window(self, weights):
+        """Shared per-window precomputation for the columnar engine.
+
+        Levels and the saturation lookup are pure functions of the
+        weights, the shared config, and the saturation mask — and every
+        site's mask is broadcast-synchronized, so one computation on
+        the window's site-sorted weight column serves every site (each
+        :meth:`on_columns` call still *verifies* its own mask against
+        the context and recomputes locally in the rare mid-window
+        divergence between a ``LEVEL_SATURATED`` broadcast and the
+        sites processed before it).  Returns ``None`` when there is
+        nothing to share (level sets disabled, or numpy missing).
+        """
+        if not self.config.level_sets_enabled or _np is None:
+            return None
+        mask = self._saturated_mask
+        if mask == 0:
+            # Warm-up: everything is early, so every level is consumed.
+            return _WindowPrep(levels_of_array(weights, self._r), 0, None, False)
+        # Saturation typically fills from the bottom first: let J be the
+        # lowest unsaturated level.  For J >= 1, any weight below r^J
+        # lies in a level < J — all saturated (level_of maps every
+        # w < r, sub-1 weights included, to level 0) — so only the
+        # (rare) heavy tail w >= r^J needs exact level computation.  The
+        # threshold is shaded down by 1e-9 so a 1-ulp power discrepancy
+        # can only over-include (over-included items just get exact
+        # levels).  J == 0 (level 0 open under a nonzero mask) proves
+        # nothing about any weight, so everything gets exact levels.
+        lowest_open = 0
+        while (mask >> lowest_open) & 1:
+            lowest_open += 1
+        if lowest_open == 0:
+            heavy_idx = _np.arange(len(weights))
+        else:
+            heavy_floor = (self._r**lowest_open) * (1.0 - 1e-9)
+            heavy_idx = _np.flatnonzero(weights >= heavy_floor)
+        if len(heavy_idx) == 0:
+            return _WindowPrep(None, mask, None, True)
+        heavy_levels = levels_of_array(weights[heavy_idx], self._r)
+        heavy_saturated = self._saturation_table(int(heavy_levels.max()))[
+            heavy_levels
+        ]
+        if heavy_saturated.all():
+            return _WindowPrep(None, mask, None, True)
+        early_positions = heavy_idx[~heavy_saturated]
+        saturated = _np.ones(len(weights), dtype=_np.bool_)
+        saturated[early_positions] = False
+        levels = _np.zeros(len(weights), dtype=_np.int64)
+        levels[heavy_idx] = heavy_levels
+        return _WindowPrep(
+            levels, mask, saturated, False, early_positions.tolist()
+        )
+
+    def _saturation_table(self, max_level: int):
+        """Cached bool table ``table[j] = level j saturated``.
+
+        Shared by every bulk path (``on_items``, ``on_columns``,
+        ``prepare_window``, the fused multi-query pass) and rebuilt
+        only when the mask changes — a ``LEVEL_SATURATED`` broadcast, a
+        handful of times per run — or a deeper level appears.
+        """
+        table = self._sat_table
+        if (
+            table is None
+            or self._sat_table_mask != self._saturated_mask
+            or len(table) <= max_level
+        ):
+            mask = self._saturated_mask
+            size = max(max_level + 1, 64)
+            table = _np.fromiter(
+                ((mask >> j) & 1 for j in range(size)),
+                dtype=_np.bool_,
+                count=size,
+            )
+            self._sat_table = table
+            self._sat_table_mask = mask
+        return table
+
+    def on_columns(self, idents, weights, prep=None):
+        """Fully columnar Algorithm 1 over a batch of arrivals.
+
+        The zero-object counterpart of :meth:`on_items`: identical
+        decisions, identical RNG consumption (same batch exponentials
+        from the same :class:`~repro.common.rng.BatchRandom`, in the
+        same order), but the result is a single
+        :class:`~repro.net.messages.MessagePack` of parallel arrays —
+        no ``Item`` and no per-message ``Message`` objects (an empty
+        tuple when the batch sends nothing).  Falls back to the scalar
+        path (returning a plain message list) in exactly the cases
+        ``on_items`` does: single-item batches, numpy-free installs,
+        and ``count_bits`` mode.
+        """
+        n = len(weights)
+        if n <= 1 or _np is None or self.config.count_bits:
+            items = [Item(int(e), float(w)) for e, w in zip(idents, weights)]
+            if not items:
+                return ()
+            return SiteAlgorithm.on_items(self, items)
+        self.items_seen += n
+        early_idents = early_weights = early_levels = None
+        regular_idents, regular_weights = idents, weights
+        if self.config.level_sets_enabled:
+            if prep is not None and prep[0].mask == self._saturated_mask:
+                wctx, start, end = prep
+                levels = saturated = None  # sliced lazily below
+            else:
+                wctx = None
+                levels = levels_of_array(weights, self._r)
+            if not self._saturated_mask:
+                # Warm-up: nothing saturated, the whole batch is early
+                # (and, like on_items, no exponentials are drawn).
+                if levels is None:
+                    levels = wctx.levels[start:end]
+                return MessagePack(idents, weights, levels)
+            if wctx is not None:
+                if not wctx.all_saturated:
+                    # Bisect the window's early-position index: most
+                    # sites discover "no earlies in my slice" without
+                    # touching (or reducing) any array.
+                    positions = wctx.early_positions
+                    if bisect_left(positions, start) != bisect_left(
+                        positions, end
+                    ):
+                        saturated = wctx.saturated[start:end]
+            else:
+                saturated = self._saturation_table(int(levels.max()))[levels]
+            if saturated is not None and not saturated.all():
+                if levels is None:
+                    levels = wctx.levels[start:end]
+                early = ~saturated
+                early_idents = idents[early]
+                early_weights = weights[early]
+                early_levels = levels[early]
+                if early.all():
+                    return MessagePack(early_idents, early_weights, early_levels)
+                regular_idents = idents[saturated]
+                regular_weights = weights[saturated]
+        if self._batch_rng is None:
+            self._batch_rng = BatchRandom(self._rng)
+        m = len(regular_weights)
+        draws = self._batch_rng.exponentials(m)
+        self.exponentials_generated += m
+        keys = _np.divide(regular_weights, draws, out=draws)
+        send = keys > self._threshold
+        num_send = _np.count_nonzero(send)
+        if num_send == 0:
+            if early_idents is None:
+                return ()
+            return MessagePack(early_idents, early_weights, early_levels)
+        if num_send != m:
+            regular_idents = regular_idents[send]
+            regular_weights = regular_weights[send]
+            keys = keys[send]
+        return MessagePack(
+            early_idents,
+            early_weights,
+            early_levels,
+            regular_idents,
+            regular_weights,
+            keys,
+        )
 
     def on_control(self, message: Message) -> None:
         """Handle ``LEVEL_SATURATED`` / ``EPOCH_UPDATE`` broadcasts."""

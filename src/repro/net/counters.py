@@ -12,10 +12,28 @@ from __future__ import annotations
 from collections import Counter
 from typing import Dict
 
-from ..common.words import words_for_payload
-from .messages import Message
+from ..common.words import (
+    _ONE_WORD_MAGNITUDE,
+    words_for_payload,
+    words_for_value,
+    words_for_values_array,
+)
+from .messages import EARLY, REGULAR, Message, MessagePack
 
 __all__ = ["MessageCounters"]
+
+#: Packs at or below this size are accounted with a scalar loop (the
+#: typical steady-state pack carries a handful of entries, where numpy
+#: call overhead dwarfs the arithmetic); larger packs vectorize.
+_SCALAR_PACK_LIMIT = 64
+
+
+def _value_words(value: float) -> int:
+    """Scalar fast path of :func:`~repro.common.words.words_for_value`
+    — equal by the same case analysis as ``words_for_values_array``."""
+    if -_ONE_WORD_MAGNITUDE <= value <= _ONE_WORD_MAGNITUDE:
+        return 1
+    return words_for_value(float(value))
 
 
 class MessageCounters:
@@ -61,6 +79,64 @@ class MessageCounters:
         self.words += w
         if w > self.max_message_words:
             self.max_message_words = w
+
+    def record_upstream_pack(self, pack: MessagePack) -> None:
+        """Count a :class:`~repro.net.messages.MessagePack` as the
+        messages it stands for.
+
+        Every tally — totals, per-kind counts, words, and the
+        max-words watermark — lands exactly where
+        :meth:`record_upstream` over ``pack.messages()`` would put it:
+        per-entry words are ``words_for_payload(payload) + 1`` via
+        :func:`~repro.common.words.words_for_values_array`, whose
+        element-wise equality with the scalar accounting is proved in
+        its docstring (and pinned by tests).
+        """
+        ne, nr = pack.num_early, pack.num_regular
+        if ne == 0 and nr == 0:
+            return
+        self.upstream += ne + nr
+        max_words = self.max_message_words
+        words = 0
+        if ne + nr <= _SCALAR_PACK_LIMIT:
+            if ne:
+                self.by_kind[EARLY] += ne
+                for e, w in zip(
+                    pack.early_idents.tolist(), pack.early_weights.tolist()
+                ):
+                    per = _value_words(e) + _value_words(w) + 1
+                    words += per
+                    if per > max_words:
+                        max_words = per
+            if nr:
+                self.by_kind[REGULAR] += nr
+                for e, w, k in zip(
+                    pack.regular_idents.tolist(),
+                    pack.regular_weights.tolist(),
+                    pack.regular_keys.tolist(),
+                ):
+                    per = _value_words(e) + _value_words(w) + _value_words(k) + 1
+                    words += per
+                    if per > max_words:
+                        max_words = per
+        else:
+            if ne:
+                self.by_kind[EARLY] += ne
+                per = words_for_values_array(pack.early_idents)
+                per += words_for_values_array(pack.early_weights)
+                per += 1  # the kind tag
+                words += int(per.sum())
+                max_words = max(max_words, int(per.max()))
+            if nr:
+                self.by_kind[REGULAR] += nr
+                per = words_for_values_array(pack.regular_idents)
+                per += words_for_values_array(pack.regular_weights)
+                per += words_for_values_array(pack.regular_keys)
+                per += 1  # the kind tag
+                words += int(per.sum())
+                max_words = max(max_words, int(per.max()))
+        self.words += words
+        self.max_message_words = max_words
 
     def record_downstream(self, message: Message, copies: int = 1) -> None:
         """Count a coordinator -> site message (``copies`` recipients)."""

@@ -25,6 +25,7 @@ from typing import Tuple
 
 __all__ = [
     "Message",
+    "MessagePack",
     "EARLY",
     "REGULAR",
     "LEVEL_SATURATED",
@@ -93,3 +94,96 @@ class Message:
 
     def __hash__(self) -> int:
         return hash((self.kind, self.payload))
+
+
+class MessagePack:
+    """One site -> coordinator transmission carrying a whole batch.
+
+    The columnar runtime's wire unit: instead of ``N`` separate
+    :class:`Message` objects per (site, batch), a single pack carries
+    the batch's ``EARLY`` and ``REGULAR`` entries as parallel arrays,
+    in the exact order the batched engine would have delivered the
+    individual messages (all earlies in arrival order, then all
+    regulars in arrival order).  A pack is pure transport: it stands
+    for its constituent messages, and its word accounting (see
+    :meth:`~repro.net.counters.MessageCounters.record_upstream_pack`)
+    equals the sum over :meth:`messages` exactly — a pack is never
+    cheaper or dearer than what it replaces, it just avoids the
+    per-message Python objects.
+
+    ``early_levels`` is the per-early level index (a pure function of
+    the weight and the protocol's ``r``, computed vectorized at the
+    site); like ``Message.early_hint`` it carries no information beyond
+    the payloads and is not counted as words.  ``early_items`` is an
+    optional memo of pre-built :class:`~repro.stream.item.Item` objects
+    aligned with the early columns — multi-query drivers attach one
+    shared list so every member coordinator parks the same objects.
+
+    Either half may be ``None`` (no entries of that kind).
+    """
+
+    __slots__ = (
+        "early_idents",
+        "early_weights",
+        "early_levels",
+        "regular_idents",
+        "regular_weights",
+        "regular_keys",
+        "early_items",
+    )
+
+    def __init__(
+        self,
+        early_idents=None,
+        early_weights=None,
+        early_levels=None,
+        regular_idents=None,
+        regular_weights=None,
+        regular_keys=None,
+    ) -> None:
+        self.early_idents = early_idents
+        self.early_weights = early_weights
+        self.early_levels = early_levels
+        self.regular_idents = regular_idents
+        self.regular_weights = regular_weights
+        self.regular_keys = regular_keys
+        self.early_items = None
+
+    @property
+    def num_early(self) -> int:
+        return 0 if self.early_idents is None else len(self.early_idents)
+
+    @property
+    def num_regular(self) -> int:
+        return 0 if self.regular_idents is None else len(self.regular_idents)
+
+    def __len__(self) -> int:
+        return self.num_early + self.num_regular
+
+    def messages(self):
+        """Materialize the constituent :class:`Message` objects, in
+        delivery order — the pack's meaning, used by traced networks,
+        generic coordinators, and the accounting-equality tests."""
+        out = []
+        for i in range(self.num_early):
+            out.append(
+                Message(
+                    EARLY,
+                    (int(self.early_idents[i]), float(self.early_weights[i])),
+                )
+            )
+        for i in range(self.num_regular):
+            out.append(
+                Message(
+                    REGULAR,
+                    (
+                        int(self.regular_idents[i]),
+                        float(self.regular_weights[i]),
+                        float(self.regular_keys[i]),
+                    ),
+                )
+            )
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MessagePack(early={self.num_early}, regular={self.num_regular})"

@@ -42,7 +42,7 @@ from ..common.rng import BatchRandom
 from ..core.config import SworConfig
 from ..core.levels import levels_of_array
 from ..net.counters import MessageCounters
-from ..net.messages import EARLY, Message, REGULAR
+from ..net.messages import EARLY, Message, MessagePack, REGULAR
 from ..runtime.batched import (
     DEFAULT_BATCH_SIZE,
     DEFAULT_INITIAL_BATCH_SIZE,
@@ -139,11 +139,24 @@ class _FusedSworGroup:
     Any state divergence between members' site views (impossible for
     same-config members, but checked defensively) falls back to the
     generic per-query path for that site batch.
+
+    In *columnar* mode (``MultiQueryDriver(engine="columnar")``) the
+    shared site pass additionally skips the per-message ``Message``
+    objects: the early/regular split is computed once, and each member
+    delivers a single :class:`~repro.net.messages.MessagePack` per
+    (site, batch) — all members' packs aliasing the same early columns
+    and the same pre-built early ``Item`` memo — through its own
+    network's :meth:`~repro.runtime.network.Network.deliver_pack`.
     """
 
-    __slots__ = ("config", "members", "protocols", "_r")
+    __slots__ = ("config", "members", "protocols", "_r", "columnar")
 
-    def __init__(self, config: SworConfig, members: List[NetworkBackedQuery]) -> None:
+    def __init__(
+        self,
+        config: SworConfig,
+        members: List[NetworkBackedQuery],
+        columnar: bool = False,
+    ) -> None:
         self.config = config
         self.members = members
         self.protocols = [
@@ -151,6 +164,7 @@ class _FusedSworGroup:
             for m in members
         ]
         self._r = config.r
+        self.columnar = columnar
 
     def _fallback(self, site_id: int, batch: Sequence[Item]) -> None:
         for protocol in self.protocols:
@@ -159,6 +173,9 @@ class _FusedSworGroup:
                 network.deliver_upstream(site_id, message)
 
     def site_batch(self, site_id: int, batch: "ItemBatch") -> None:
+        if self.columnar:
+            self._site_batch_columnar(site_id, batch)
+            return
         n = len(batch)
         if n <= 1 or _np is None:
             self._fallback(site_id, batch)
@@ -172,11 +189,7 @@ class _FusedSworGroup:
                 return
         levels = levels_of_array(weights, self._r)
         if mask:
-            table = _np.fromiter(
-                ((mask >> j) & 1 for j in range(int(levels.max()) + 1)),
-                dtype=_np.bool_,
-            )
-            early = ~table[levels]
+            early = ~first._saturation_table(int(levels.max()))[levels]
             early_idx = _np.flatnonzero(early)
             regular_idx = _np.flatnonzero(~early)
         else:
@@ -221,6 +234,97 @@ class _FusedSworGroup:
                         Message(REGULAR, (item.ident, item.weight, float(keys[j]))),
                     )
 
+    def _site_batch_columnar(self, site_id: int, batch: "ItemBatch") -> None:
+        """One shared early/regular split, one pack per member query.
+
+        Decision-for-decision and draw-for-draw identical to a
+        standalone columnar run of each member (and hence to a batched
+        one): per member only the batch exponentials, the threshold
+        filter, and the pack delivery remain.
+        """
+        n = len(batch)
+        idents = batch.idents
+        if n <= 1 or _np is None or idents is None:
+            self._fallback(site_id, batch)
+            return
+        weights = batch.weights
+        first = self.protocols[0].sites[site_id]
+        mask = first._saturated_mask
+        for protocol in self.protocols[1:]:
+            if protocol.sites[site_id]._saturated_mask != mask:
+                self._fallback(site_id, batch)  # pragma: no cover - defensive
+                return
+        levels = levels_of_array(weights, self._r)
+        early_idents = early_weights = early_levels = None
+        regular_idents = regular_weights = None
+        early_idx = None
+        if mask:
+            saturated = first._saturation_table(int(levels.max()))[levels]
+            num_saturated = int(_np.count_nonzero(saturated))
+            if num_saturated == n:
+                regular_idents, regular_weights = idents, weights
+            elif num_saturated == 0:
+                early_idents, early_weights, early_levels = idents, weights, levels
+                early_idx = range(n)
+            else:
+                early = ~saturated
+                early_idents = idents[early]
+                early_weights = weights[early]
+                early_levels = levels[early]
+                early_idx = _np.flatnonzero(early).tolist()
+                regular_idents = idents[saturated]
+                regular_weights = weights[saturated]
+        else:
+            early_idents, early_weights, early_levels = idents, weights, levels
+            early_idx = range(n)
+        early_items = None
+        if early_idx is not None:
+            # One shared Item memo — the stream's own objects — parked
+            # by every member coordinator (like Message.early_hint).
+            source, positions = batch._source, batch._positions
+            early_items = [source[positions[i]] for i in early_idx]
+        for protocol in self.protocols:
+            site = protocol.sites[site_id]
+            site.items_seen += n
+            if regular_weights is None:
+                pack = MessagePack(early_idents, early_weights, early_levels)
+                pack.early_items = early_items
+                protocol.network.deliver_pack(site_id, pack)
+                continue
+            threshold = site._threshold  # pre-flush view, like on_columns
+            if site._batch_rng is None:
+                site._batch_rng = BatchRandom(site._rng)
+            m = len(regular_weights)
+            draws = site._batch_rng.exponentials(m)
+            site.exponentials_generated += m
+            keys = _np.divide(regular_weights, draws, out=draws)
+            send = keys > threshold
+            num_send = int(_np.count_nonzero(send))
+            if num_send == 0:
+                if early_items is None:
+                    continue
+                pack = MessagePack(early_idents, early_weights, early_levels)
+            elif num_send == m:
+                pack = MessagePack(
+                    early_idents,
+                    early_weights,
+                    early_levels,
+                    regular_idents,
+                    regular_weights,
+                    keys,
+                )
+            else:
+                pack = MessagePack(
+                    early_idents,
+                    early_weights,
+                    early_levels,
+                    regular_idents[send],
+                    regular_weights[send],
+                    keys[send],
+                )
+            pack.early_items = early_items
+            protocol.network.deliver_pack(site_id, pack)
+
 
 class MultiQueryDriver:
     """Run a catalog of queries concurrently over one stream pass.
@@ -236,7 +340,10 @@ class MultiQueryDriver:
         Root seed; each query's protocol derives an independent seed
         via :func:`repro.query.backends.query_seed`.
     engine:
-        ``"batched"`` (the shared vectorized pass, default) or
+        ``"batched"`` (the shared vectorized pass, default),
+        ``"columnar"`` (the batched schedule with the zero-object pack
+        data plane of :class:`~repro.runtime.ColumnarEngine` for fused
+        SWOR groups — per-query results stay bit-identical), or
         ``"reference"`` (batch size 1 — the synchronous round model,
         bit-identical to :class:`~repro.runtime.ReferenceEngine`).
     batch_size / initial_batch_size:
@@ -263,9 +370,10 @@ class MultiQueryDriver:
     ) -> None:
         if num_sites <= 0:
             raise ConfigurationError(f"num_sites must be positive, got {num_sites}")
-        if engine not in ("batched", "reference"):
+        if engine not in ("batched", "columnar", "reference"):
             raise ConfigurationError(
-                f"engine must be 'batched' or 'reference', got {engine!r}"
+                "engine must be 'batched', 'columnar', or 'reference', "
+                f"got {engine!r}"
             )
         # None means "engine default", matching the protocol facades.
         if batch_size is None:
@@ -288,7 +396,7 @@ class MultiQueryDriver:
         self.batch_size = batch_size
         self.initial_batch_size = min(initial_batch_size, batch_size)
         self.confidence = confidence
-        self.fuse = fuse and engine == "batched"
+        self.fuse = fuse and engine in ("batched", "columnar")
         self.compiled: List[CompiledQuery] = [
             compile_query(query, num_sites, seed, confidence) for query in catalog
         ]
@@ -337,7 +445,11 @@ class MultiQueryDriver:
                 generic.append(instance)
         for config, members in fusable.items():
             if len(members) >= 2:
-                consumers.append(_FusedSworGroup(config, members))
+                consumers.append(
+                    _FusedSworGroup(
+                        config, members, columnar=self.engine == "columnar"
+                    )
+                )
             else:
                 generic.extend(members)
         consumers.extend(_GenericConsumer(instance) for instance in generic)
@@ -381,7 +493,9 @@ class MultiQueryDriver:
             n, self.batch_size, self.initial_batch_size, marks
         ):
             if arrays is not None:
-                self._run_window_numpy(consumers, items, arrays, lo, hi)
+                self._run_window_numpy(
+                    consumers, items, arrays, lo, hi, self.engine == "columnar"
+                )
             else:
                 self._run_window_python(consumers, stream, lo, hi)
             if centralized:
@@ -402,13 +516,23 @@ class MultiQueryDriver:
 
     @staticmethod
     def _run_window_numpy(
-        consumers: List[object], items: List[Item], arrays, lo: int, hi: int
+        consumers: List[object],
+        items: List[Item],
+        arrays,
+        lo: int,
+        hi: int,
+        columnar: bool = False,
     ) -> None:
         """One argsort groups the window for *every* query's sites."""
-        assignment, weights = arrays
+        assignment, weights, idents = arrays
         for site_id, order_positions in site_runs(assignment[lo:hi]):
             positions = order_positions + lo
-            batch = ItemBatch(items, positions, weights[positions])
+            batch = ItemBatch(
+                items,
+                positions,
+                weights[positions],
+                idents[positions] if columnar and idents is not None else None,
+            )
             for consumer in consumers:
                 consumer.site_batch(site_id, batch)
 

@@ -29,6 +29,7 @@ from typing import Dict, Optional, Type, Union
 from ..common.errors import ConfigurationError
 from .base import Engine
 from .batched import BatchedEngine, ItemBatch
+from .columnar import ColumnarEngine
 from .interfaces import BROADCAST, CoordinatorAlgorithm, SiteAlgorithm
 from .network import Network
 from .reference import ReferenceEngine
@@ -41,6 +42,7 @@ __all__ = [
     "Engine",
     "ReferenceEngine",
     "BatchedEngine",
+    "ColumnarEngine",
     "ItemBatch",
     "ENGINES",
     "get_engine",
@@ -50,6 +52,7 @@ __all__ = [
 ENGINES: Dict[str, Type[Engine]] = {
     ReferenceEngine.name: ReferenceEngine,
     BatchedEngine.name: BatchedEngine,
+    ColumnarEngine.name: ColumnarEngine,
 }
 
 
@@ -63,10 +66,10 @@ def get_engine(
     ----------
     spec:
         ``None`` (reference), a registry name (``"reference"`` /
-        ``"batched"``), or an already-built :class:`Engine` instance
-        (returned as-is).
+        ``"batched"`` / ``"columnar"``), or an already-built
+        :class:`Engine` instance (returned as-is).
     batch_size:
-        Steady-state batch size for the batched engine; rejected for
+        Steady-state batch size for the batching engines; rejected for
         engines that do not batch.
     """
     if isinstance(spec, Engine):
@@ -81,7 +84,7 @@ def get_engine(
         known = ", ".join(sorted(ENGINES))
         raise ConfigurationError(f"unknown engine {name!r} (known: {known})")
     if batch_size is not None:
-        if cls is not BatchedEngine:
+        if not issubclass(cls, BatchedEngine):
             raise ConfigurationError(
                 f"engine {name!r} does not take a batch_size"
             )

@@ -64,6 +64,7 @@ __all__ = [
     "ItemBatch",
     "BatchedEngine",
     "batch_windows",
+    "window_order",
     "site_runs",
     "site_buckets",
 ]
@@ -102,6 +103,28 @@ def batch_windows(n, batch_size, initial_batch_size, marks=()):
         size = min(size * 2, batch_size)
 
 
+def window_order(window):
+    """Stable per-site grouping of one window's site assignments.
+
+    The single source of truth for how every batching engine groups a
+    window: returns ``(order, sites_sorted, run_starts, run_ends)``
+    where ``order`` is the stable argsort of ``window`` (each site's
+    arrivals kept in global order), ``sites_sorted = window[order]``,
+    and ``[run_starts[i], run_ends[i])`` brackets site
+    ``sites_sorted[run_starts[i]]``'s run.  Both :func:`site_runs`
+    (batched engine, multi-query driver) and the columnar engine build
+    on this, which is what keeps their grouping — and hence their
+    run-for-run RNG parity — structural.  Requires numpy.
+    """
+    order = _np.argsort(window, kind="stable")
+    sites_sorted = window[order]
+    run_starts = _np.flatnonzero(
+        _np.r_[True, sites_sorted[1:] != sites_sorted[:-1]]
+    )
+    run_ends = _np.r_[run_starts[1:], len(sites_sorted)]
+    return order, sites_sorted, run_starts, run_ends
+
+
 def site_runs(window):
     """Yield ``(site_id, order_positions)`` runs for one window.
 
@@ -110,12 +133,7 @@ def site_runs(window):
     ``lo`` for stream positions), with each site's arrivals kept in
     global order.  Requires numpy.
     """
-    order = _np.argsort(window, kind="stable")
-    sites_sorted = window[order]
-    run_starts = _np.flatnonzero(
-        _np.r_[True, sites_sorted[1:] != sites_sorted[:-1]]
-    )
-    run_ends = _np.r_[run_starts[1:], len(sites_sorted)]
+    order, sites_sorted, run_starts, run_ends = window_order(window)
     for start, end in zip(run_starts, run_ends):
         yield int(sites_sorted[start]), order[start:end]
 
@@ -140,21 +158,42 @@ class ItemBatch(Sequence):
     implementations can iterate it) while carrying the pre-gathered
     ``weights`` array that vectorized site hooks consume directly —
     sites only touch :class:`~repro.stream.item.Item` objects for the
-    (few) items that actually generate messages.
+    (few) items that actually generate messages.  ``idents`` optionally
+    carries the aligned identifier column (attached by columnar-mode
+    drivers so fused site passes can build
+    :class:`~repro.net.messages.MessagePack` columns without touching
+    Items).
+
+    Supports the full ``Sequence`` indexing protocol: negative indices
+    and slices both work; a slice returns another ``ItemBatch`` view
+    with its ``weights`` (and ``idents``) kept aligned.
     """
 
-    __slots__ = ("_source", "_positions", "weights")
+    __slots__ = ("_source", "_positions", "weights", "idents")
 
-    def __init__(self, source: List["Item"], positions, weights) -> None:
+    def __init__(
+        self, source: List["Item"], positions, weights, idents=None
+    ) -> None:
         self._source = source
         self._positions = positions
         #: Per-item weights aligned with this batch (numpy array).
         self.weights = weights
+        #: Optional per-item identifiers aligned with this batch.
+        self.idents = idents
 
     def __len__(self) -> int:
         return len(self._positions)
 
-    def __getitem__(self, index: int) -> "Item":
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return ItemBatch(
+                self._source,
+                self._positions[index],
+                None if self.weights is None else self.weights[index],
+                None if self.idents is None else self.idents[index],
+            )
+        # Integer indexing (negative included) delegates to the
+        # positions sequence, which raises IndexError out of range.
         return self._source[self._positions[index]]
 
     def __iter__(self):
@@ -243,7 +282,7 @@ class BatchedEngine(Engine):
     ) -> None:
         """Group the window per site with one stable argsort, then run
         each site's bulk hook on a zero-copy :class:`ItemBatch` view."""
-        assignment, weights = arrays
+        assignment, weights = arrays[0], arrays[1]
         deliver = network.deliver_upstream
         sites = network.sites
         for site_id, order_positions in site_runs(assignment[lo:hi]):

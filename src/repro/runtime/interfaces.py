@@ -25,7 +25,7 @@ from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, List, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
-    from ..net.messages import Message
+    from ..net.messages import Message, MessagePack
     from ..stream.item import Item
 
 __all__ = ["BROADCAST", "SiteAlgorithm", "CoordinatorAlgorithm"]
@@ -57,6 +57,30 @@ class SiteAlgorithm(ABC):
             out.extend(self.on_item(item))
         return out
 
+    def on_columns(self, idents, weights, prep=None):
+        """Observe a batch of local arrivals given as parallel columns.
+
+        Fully columnar hook used by the columnar engine: ``idents`` and
+        ``weights`` are aligned numpy arrays for this site's share of a
+        batch window, and ``prep`` optionally carries the engine's
+        once-per-window precomputation as a ``(context, start, end)``
+        triple (built by the optional site hook ``prepare_window``;
+        sites that don't share window state ignore it).  Returns either a
+        :class:`~repro.net.messages.MessagePack` (columnar sites) or a
+        plain list of :class:`~repro.net.messages.Message` (this
+        default, which materializes the Items and delegates to
+        :meth:`on_items` — RNG-identical to the batched engine, since
+        the wrapped batch carries the same ``weights`` array an
+        :class:`~repro.runtime.batched.ItemBatch` would).
+        """
+        from ..runtime.batched import ItemBatch
+        from ..stream.item import Item
+
+        source = [
+            Item(int(e), float(w)) for e, w in zip(idents.tolist(), weights.tolist())
+        ]
+        return self.on_items(ItemBatch(source, range(len(source)), weights))
+
     @abstractmethod
     def on_control(self, message: "Message") -> None:
         """Receive a downstream control message from the coordinator."""
@@ -82,6 +106,25 @@ class CoordinatorAlgorithm(ABC):
         Returns a list of ``(destination, message)`` responses, where
         destination is a site index or :data:`BROADCAST`.
         """
+
+    def on_message_pack(
+        self, site_id: int, pack: "MessagePack"
+    ) -> List[Tuple[int, "Message"]]:
+        """Handle one upstream message pack (a whole site batch).
+
+        The default expands the pack and feeds :meth:`on_message` one
+        message at a time — exact sequential semantics for protocols
+        without a bulk path.  Responses are concatenated in order; the
+        network delivers them after the pack, which is observationally
+        equivalent because the sending site's decisions for this batch
+        were already made.  Columnar coordinators override this with a
+        vectorized path (e.g.
+        :meth:`repro.core.coordinator.SworCoordinator.on_message_pack`).
+        """
+        responses: List[Tuple[int, "Message"]] = []
+        for message in pack.messages():
+            responses.extend(self.on_message(site_id, message))
+        return responses
 
     def state_words(self) -> int:
         """Approximate persistent state size in machine words."""

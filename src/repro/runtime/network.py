@@ -19,7 +19,7 @@ from .interfaces import BROADCAST, CoordinatorAlgorithm, SiteAlgorithm
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
     from ..net.counters import MessageCounters
-    from ..net.messages import Message
+    from ..net.messages import Message, MessagePack
     from ..stream.item import DistributedStream, Item
     from .base import Engine
 
@@ -68,6 +68,36 @@ class Network:
         coordinator's responses synchronously."""
         self.counters.record_upstream(message)
         responses = self.coordinator.on_message(site_id, message)
+        for dest, response in responses:
+            self.deliver_downstream(dest, response)
+
+    def deliver_pack(self, site_id: int, pack: "MessagePack") -> None:
+        """Deliver a whole site batch to the coordinator as one pack.
+
+        Counted as the messages the pack stands for (see
+        :meth:`~repro.net.counters.MessageCounters.record_upstream_pack`),
+        then handled through the coordinator's bulk hook; responses fan
+        out as usual.  When the delivery methods have been instrumented
+        — rebound on the instance (:class:`~repro.net.tracing.MessageTrace`),
+        overridden in a subclass, or patched on the class — the pack is
+        expanded and routed message by message instead, so wrappers see
+        every upstream message with its exact causal order under any
+        engine.
+        """
+        if len(pack) == 0:
+            return
+        cls = type(self)
+        if (
+            "deliver_upstream" in self.__dict__
+            or "deliver_downstream" in self.__dict__
+            or cls.deliver_upstream is not _BASE_DELIVER_UPSTREAM
+            or cls.deliver_downstream is not _BASE_DELIVER_DOWNSTREAM
+        ):
+            for message in pack.messages():
+                self.deliver_upstream(site_id, message)
+            return
+        self.counters.record_upstream_pack(pack)
+        responses = self.coordinator.on_message_pack(site_id, pack)
         for dest, response in responses:
             self.deliver_downstream(dest, response)
 
@@ -139,3 +169,11 @@ class Network:
     def site_state_words(self) -> List[int]:
         """Per-site persistent state, in words (experiment E12)."""
         return [site.state_words() for site in self.sites]
+
+
+#: Pristine delivery methods, captured at class-definition time —
+#: ``deliver_pack`` compares against these so *any* instrumentation
+#: (instance rebinding, subclass override, or a patch on the class
+#: itself) routes packs message by message through the wrappers.
+_BASE_DELIVER_UPSTREAM = Network.deliver_upstream
+_BASE_DELIVER_DOWNSTREAM = Network.deliver_downstream

@@ -1,6 +1,7 @@
 """Stream substrate: weighted items, workloads, and site assignments."""
 
 from .item import DistributedStream, Item, total_weight, validate_weights
+from .columns import ColumnarStream, ItemColumnView, columnar_zipf_stream
 from .generators import (
     epoch_unit_stream,
     epoch_weight_stream,
@@ -40,6 +41,9 @@ from .adversary import (
 __all__ = [
     "Item",
     "DistributedStream",
+    "ColumnarStream",
+    "ItemColumnView",
+    "columnar_zipf_stream",
     "total_weight",
     "validate_weights",
     "unit_stream",

@@ -1,0 +1,283 @@
+"""Columnar (structure-of-arrays) streams — the zero-object substrate.
+
+:class:`~repro.stream.item.DistributedStream` stores one ``Item``
+NamedTuple per arrival; at million-item scale the Python objects cost
+~5x the memory of the raw values and force every consumer through
+per-object interpreter dispatch.  :class:`ColumnarStream` stores the
+same global order as three parallel numpy columns —
+
+* ``idents``  (int64)   — the item identifiers ``e``;
+* ``weights`` (float64) — the positive weights ``w``;
+* ``sites``   (int64)   — the per-arrival site assignment;
+
+— and materializes :class:`~repro.stream.item.Item` objects *lazily*,
+only for the (few) arrivals that actually enter a sample, a level set,
+or a trace.  Streams are built either by converting an existing
+``DistributedStream`` (:meth:`ColumnarStream.from_distributed`) or by
+**chunked generation** (:meth:`ColumnarStream.generate`,
+:func:`columnar_zipf_stream`): the columns are filled window by window,
+so no intermediate ``Item`` list ever exists — construction peaks at
+24 bytes/item plus one chunk, versus the 100+ bytes/item of a
+materialized ``Item`` list.
+
+A ``ColumnarStream`` is duck-compatible with the engine-facing surface
+of ``DistributedStream`` (``len`` / ``num_sites`` / ``arrays()`` /
+``assignment`` / ``items`` / ``iter_batches`` / iteration), where
+``items`` is a lazy sequence view, so every runtime engine — not just
+:class:`~repro.runtime.columnar.ColumnarEngine` — can replay one.
+
+This module requires numpy; on numpy-free installs it is importable but
+every constructor raises :class:`~repro.common.errors.ConfigurationError`
+(use ``DistributedStream``, whose engines have scalar fallbacks).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+try:  # the whole point of this module is the numpy-backed layout
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None  # type: ignore[assignment]
+
+from ..common.errors import ConfigurationError
+from .item import DistributedStream, Item
+
+__all__ = ["ColumnarStream", "ItemColumnView", "columnar_zipf_stream"]
+
+#: Default generation chunk: 64k arrivals (~1.5 MB of column data).
+DEFAULT_CHUNK_SIZE = 65536
+
+
+def _require_numpy() -> None:
+    if _np is None:
+        raise ConfigurationError(
+            "ColumnarStream requires numpy; use DistributedStream (and the "
+            "engines' scalar fallbacks) on numpy-free installs"
+        )
+
+
+class ItemColumnView(Sequence):
+    """A lazy ``Sequence[Item]`` over a stream's columns.
+
+    Supports integer indexing (negative included) and slices; an
+    ``Item`` is constructed only at access time, never stored.  This is
+    what lets the batched engine's ``stream.items`` lookups work on a
+    :class:`ColumnarStream` without materializing the stream.
+    """
+
+    __slots__ = ("_idents", "_weights")
+
+    def __init__(self, idents, weights) -> None:
+        self._idents = idents
+        self._weights = weights
+
+    def __len__(self) -> int:
+        return len(self._idents)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [
+                Item(int(e), float(w))
+                for e, w in zip(self._idents[index], self._weights[index])
+            ]
+        return Item(int(self._idents[index]), float(self._weights[index]))
+
+    def __iter__(self) -> Iterator[Item]:
+        idents = self._idents
+        weights = self._weights
+        return (Item(int(idents[i]), float(weights[i])) for i in range(len(idents)))
+
+
+class ColumnarStream:
+    """A globally-ordered distributed stream as three numpy columns.
+
+    Parameters
+    ----------
+    idents / weights / sites:
+        Parallel arrays in global arrival order (coerced to
+        int64/float64/int64).
+    num_sites:
+        The number of sites ``k``; every entry of ``sites`` must lie in
+        ``0..k-1``.
+    """
+
+    def __init__(self, idents, weights, sites, num_sites: int) -> None:
+        _require_numpy()
+        idents = _np.ascontiguousarray(idents, dtype=_np.int64)
+        weights = _np.ascontiguousarray(weights, dtype=_np.float64)
+        sites = _np.ascontiguousarray(sites, dtype=_np.int64)
+        if not (len(idents) == len(weights) == len(sites)):
+            raise ConfigurationError(
+                f"column lengths disagree: {len(idents)} idents, "
+                f"{len(weights)} weights, {len(sites)} sites"
+            )
+        if num_sites <= 0:
+            raise ConfigurationError(f"num_sites must be positive, got {num_sites}")
+        if len(sites) and ((sites < 0) | (sites >= num_sites)).any():
+            bad = int(sites[(sites < 0) | (sites >= num_sites)][0])
+            raise ConfigurationError(
+                f"site index {bad} out of range for k={num_sites}"
+            )
+        self.idents = idents
+        self.weights = weights
+        self.sites = sites
+        self.num_sites = num_sites
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_distributed(cls, stream: DistributedStream) -> "ColumnarStream":
+        """Convert an ``Item``-backed stream (values copied exactly)."""
+        _require_numpy()
+        assignment, weights, idents = stream.arrays()
+        if idents is None:
+            raise ConfigurationError(
+                "stream has non-integer identifiers; ColumnarStream requires "
+                "int64-representable idents"
+            )
+        return cls(idents, weights, assignment, stream.num_sites)
+
+    @classmethod
+    def generate(
+        cls,
+        n: int,
+        num_sites: int,
+        fill: Callable[[int, "object", "object", "object"], None],
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> "ColumnarStream":
+        """Build a stream by filling columns one chunk at a time.
+
+        ``fill(lo, idents, weights, sites)`` receives the global offset
+        of the chunk and *views* of the three columns covering
+        ``lo : lo+len(idents)``; it must write every entry.  No ``Item``
+        (or any other per-arrival object) is ever created, so peak
+        memory is the final columns plus whatever the callback
+        allocates per chunk.
+        """
+        _require_numpy()
+        if n < 0:
+            raise ConfigurationError(f"stream length must be >= 0, got {n}")
+        if chunk_size <= 0:
+            raise ConfigurationError(
+                f"chunk_size must be positive, got {chunk_size}"
+            )
+        idents = _np.empty(n, dtype=_np.int64)
+        weights = _np.empty(n, dtype=_np.float64)
+        sites = _np.empty(n, dtype=_np.int64)
+        for lo in range(0, n, chunk_size):
+            hi = min(lo + chunk_size, n)
+            fill(lo, idents[lo:hi], weights[lo:hi], sites[lo:hi])
+        return cls(idents, weights, sites, num_sites)
+
+    def to_distributed(self) -> DistributedStream:
+        """Materialize an ``Item``-backed :class:`DistributedStream`.
+
+        The inverse of :meth:`from_distributed` — round-trips exactly
+        (int64 idents and float64 weights are preserved bit for bit).
+        """
+        return DistributedStream(
+            list(self.items), self.sites.tolist(), self.num_sites
+        )
+
+    # -- DistributedStream-compatible surface --------------------------
+
+    def __len__(self) -> int:
+        return len(self.weights)
+
+    def __iter__(self) -> Iterator[Tuple[int, Item]]:
+        """Yield ``(site, item)`` pairs in global arrival order (lazy)."""
+        sites = self.sites
+        items = self.items
+        return ((int(sites[i]), items[i]) for i in range(len(sites)))
+
+    @property
+    def items(self) -> ItemColumnView:
+        """Lazy ``Sequence[Item]`` view (no materialization)."""
+        return ItemColumnView(self.idents, self.weights)
+
+    @property
+    def assignment(self):
+        """Per-item site indices, aligned with :attr:`items`."""
+        return self.sites
+
+    def arrays(self) -> Tuple:
+        """``(assignment, weights, idents)`` — already columnar, so this
+        is free (mirrors :meth:`DistributedStream.arrays`)."""
+        return self.sites, self.weights, self.idents
+
+    def total_weight(self) -> float:
+        """The stream's total weight ``W`` (numpy pairwise summation —
+        may differ from ``DistributedStream.total_weight``'s sequential
+        sum in the last ulp)."""
+        return float(self.weights.sum())
+
+    def prefix_weights(self):
+        """``W_t`` for every prefix, as a float64 array (cumulative sum)."""
+        return _np.cumsum(self.weights)
+
+    def iter_batches(
+        self, batch_size: int
+    ) -> Iterator[Tuple[List[int], List[Item]]]:
+        """Yield ``(sites, items)`` chunk pairs in global arrival order,
+        materializing each chunk's Items transiently (API parity with
+        :meth:`DistributedStream.iter_batches`)."""
+        if batch_size <= 0:
+            raise ConfigurationError(
+                f"batch_size must be positive, got {batch_size}"
+            )
+        items = self.items
+        for lo in range(0, len(self), batch_size):
+            hi = min(lo + batch_size, len(self))
+            yield self.sites[lo:hi].tolist(), items[lo:hi]
+
+    def local_streams(self) -> List[List[Item]]:
+        """Items per site, each in arrival order (materializes Items)."""
+        per_site: List[List[Item]] = [[] for _ in range(self.num_sites)]
+        items = self.items
+        for i in range(len(self)):
+            per_site[int(self.sites[i])].append(items[i])
+        return per_site
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ColumnarStream(n={len(self)}, k={self.num_sites}, "
+            f"bytes={self.idents.nbytes + self.weights.nbytes + self.sites.nbytes})"
+        )
+
+
+def columnar_zipf_stream(
+    n: int,
+    num_sites: int,
+    seed: Optional[int] = None,
+    alpha: float = 1.1,
+    max_weight: float = 1e6,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> ColumnarStream:
+    """A round-robin Zipf workload generated straight into columns.
+
+    The same bounded power law as :func:`repro.stream.generators.zipf_stream`
+    (``w = min(max_weight, U^{-1/alpha})``, clamped to ``>= 1``) with
+    distinct identifiers ``0..n-1`` and round-robin site assignment,
+    drawn from a numpy PCG64 generator — chunked, so a billion-item
+    stream never exists as Python objects.  (Distribution-identical to
+    ``zipf_stream`` but *not* draw-for-draw identical: the scalar
+    generator consumes ``random.Random``; convert with
+    :meth:`ColumnarStream.from_distributed` when bit-parity with an
+    Item-backed stream matters.)
+    """
+    _require_numpy()
+    if alpha <= 1.0:
+        raise ConfigurationError(f"alpha must exceed 1, got {alpha}")
+    gen = _np.random.Generator(_np.random.PCG64(seed))
+    exponent = -1.0 / alpha
+
+    def fill(lo, idents, weights, sites):
+        m = len(idents)
+        u = _np.maximum(gen.random(m), 5e-324)
+        _np.minimum(u**exponent, max_weight, out=weights)
+        _np.maximum(weights, 1.0, out=weights)
+        idents[:] = _np.arange(lo, lo + m)
+        sites[:] = idents % num_sites
+
+    return ColumnarStream.generate(n, num_sites, fill, chunk_size=chunk_size)

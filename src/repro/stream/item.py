@@ -10,6 +10,7 @@ site assignment, which is exactly what the simulator replays.
 from __future__ import annotations
 
 import math
+from operator import index as _as_int_index
 from typing import Iterable, Iterator, List, NamedTuple, Optional, Sequence, Tuple
 
 try:  # optional: backs the batched engine's vectorized fast path
@@ -147,13 +148,27 @@ class DistributedStream:
             yield self._assignment[lo:hi], self._items[lo:hi]
 
     def arrays(self) -> Optional[Tuple]:
-        """``(assignment, weights)`` as numpy arrays, built once and
-        cached — the structure-of-arrays view the batched engine slices
-        per batch.  Returns ``None`` when numpy is unavailable."""
+        """``(assignment, weights, idents)`` as numpy arrays, built once
+        and cached — the structure-of-arrays view the batched and
+        columnar engines slice per batch.  Returns ``None`` when numpy
+        is unavailable.  ``idents`` is ``None`` when identifiers are not
+        int64-representable (the columnar fast path then falls back to
+        the object-based one)."""
         if _np is None:
             return None
         if self._arrays is None:
             n = len(self._items)
+            try:
+                # operator.index rejects floats and other non-integral
+                # idents (np.fromiter alone would silently truncate
+                # 2.5 -> 2); any failure takes the object-path fallback.
+                idents = _np.fromiter(
+                    (_as_int_index(item.ident) for item in self._items),
+                    dtype=_np.int64,
+                    count=n,
+                )
+            except (TypeError, ValueError, OverflowError):
+                idents = None
             self._arrays = (
                 _np.asarray(self._assignment, dtype=_np.int64),
                 _np.fromiter(
@@ -161,6 +176,7 @@ class DistributedStream:
                     dtype=_np.float64,
                     count=n,
                 ),
+                idents,
             )
         return self._arrays
 
