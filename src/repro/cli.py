@@ -15,11 +15,13 @@ against the relevant closed-form bound).  ``query`` runs a whole
 catalog of estimation queries concurrently over one shared stream pass
 (see :mod:`repro.query`).
 
-Every subcommand accepts ``--engine {reference,batched}`` (and
-``--batch-size N`` for the batched engine) to pick the execution
-runtime; see :mod:`repro.runtime`.  ``--seed`` may be given either
-globally (``repro --seed 7 swor``) or per subcommand; the subcommand's
-value wins when both are present.
+Every subcommand accepts ``--engine {reference,batched,columnar}``
+(and ``--batch-size N`` for the batched/columnar engines) to pick the
+execution runtime; see :mod:`repro.runtime`.  Every protocol has a
+native columnar fast path, so ``--engine columnar`` is bit-identical
+to ``batched`` on each subcommand, just faster.  ``--seed`` may be
+given either globally (``repro --seed 7 swor``) or per subcommand; the
+subcommand's value wins when both are present.
 """
 
 from __future__ import annotations
@@ -297,6 +299,7 @@ def _cmd_query(args: argparse.Namespace) -> str:
         MultiQueryDriver,
         QuantileQuery,
         QueryCatalog,
+        SlidingWindowQuery,
         SubsetSumQuery,
         TotalWeightQuery,
     )
@@ -306,6 +309,7 @@ def _cmd_query(args: argparse.Namespace) -> str:
     items = zipf_stream(args.items, rng, alpha=args.alpha)
     stream = round_robin(items, args.sites)
     s = args.sample
+    window = max(1, args.items // 4)  # shared by the query and its truth row
     catalog = QueryCatalog(
         [
             SubsetSumQuery("total_weight", sample_size=s),
@@ -321,6 +325,7 @@ def _cmd_query(args: argparse.Namespace) -> str:
             CountQuery("item_count", sample_size=s),
             HeavyHittersQuery("heavy_hitters", eps=0.1),
             TotalWeightQuery("l1_total", eps=0.25, delta=0.1),
+            SlidingWindowQuery("recent_weight", window=window, sample_size=s),
         ]
     )
     driver = MultiQueryDriver(
@@ -338,6 +343,7 @@ def _cmd_query(args: argparse.Namespace) -> str:
         "even_idents": sum(i.weight for i in items if i.ident % 2 == 0),
         "item_count": float(len(items)),
         "l1_total": w,
+        "recent_weight": sum(i.weight for i in items[-window:]),
     }
     rows = []
     for query in catalog:

@@ -34,6 +34,8 @@ from .errors import ConfigurationError
 
 __all__ = [
     "HAVE_NUMPY",
+    "MIN_EXPONENTIAL",
+    "MIN_UNIFORM",
     "RandomSource",
     "BatchRandom",
     "LazyExponential",
@@ -85,11 +87,30 @@ class RandomSource:
         return RandomSource(random.Random(f"{self._seed}//{label}").getrandbits(64))
 
 
+#: Zero-guard floor shared by the batch generators: exponential draws
+#: are clamped to at least this value so precision-sampling keys
+#: ``w/t`` stay finite for any representable weight (``1e300 / 1e-300``
+#: is still finite).  The scalar :func:`exponential` achieves the same
+#: invariant differently — it *redraws* on ``U <= 0``, which keeps the
+#: reference engine's historical draw sequence intact — but both
+#: policies guarantee strictly positive, finite ``t`` and hence finite
+#: keys; the regression tests in ``tests/test_common_rng.py`` pin both.
+MIN_EXPONENTIAL = 1e-300
+
+#: Same guard for uniform keys: the smallest positive double, so keys
+#: stay strictly inside ``(0, 1)``.
+MIN_UNIFORM = 5e-324
+
+
 def exponential(rng: random.Random, rate: float = 1.0) -> float:
     """Draw an exponential variable with the given rate.
 
     Uses inversion (``-ln(U)/rate``) to match the bit-by-bit scheme of
-    :class:`LazyExponential`; guards against ``U == 0``.
+    :class:`LazyExponential`.  The zero guard *redraws* on ``U <= 0``
+    (rather than clamping like :meth:`BatchRandom.exponentials`) so the
+    scalar draw sequence matches the pre-batching reference runs bit
+    for bit; either policy yields strictly positive, finite ``t`` —
+    see :data:`MIN_EXPONENTIAL`.
     """
     if rate <= 0.0:
         raise ConfigurationError(f"exponential rate must be positive, got {rate}")
@@ -126,18 +147,26 @@ class BatchRandom:
     def exponentials(self, n: int):
         """``n`` i.i.d. rate-1 exponentials (ndarray, or list sans numpy).
 
-        Values are clamped away from zero so precision-sampling keys
-        ``w/t`` stay finite.
+        The zero guard *clamps* draws to :data:`MIN_EXPONENTIAL` (numpy
+        ziggurat draws can round to exactly 0.0), where the scalar
+        :func:`exponential` redraws instead — a deliberate asymmetry:
+        clamping is branch-free and vectorizable, redrawing preserves
+        the reference engine's historical sequence.  Both guarantee
+        strictly positive, finite draws, hence finite ``w/t`` keys.
         """
         if n < 0:
             raise ConfigurationError(f"batch size must be >= 0, got {n}")
         if self._gen is None:
             return [exponential(self._rng) for _ in range(n)]
         draws = self._gen.standard_exponential(n)
-        return _np.maximum(draws, 1e-300, out=draws)
+        return _np.maximum(draws, MIN_EXPONENTIAL, out=draws)
 
     def uniforms(self, n: int):
-        """``n`` i.i.d. uniforms in ``(0, 1)`` (ndarray, or list)."""
+        """``n`` i.i.d. uniforms in ``(0, 1)`` (ndarray, or list).
+
+        Clamped to at least :data:`MIN_UNIFORM` (the numpy-free path
+        redraws, mirroring :func:`exponential`'s policy).
+        """
         if n < 0:
             raise ConfigurationError(f"batch size must be >= 0, got {n}")
         if self._gen is None:
@@ -148,7 +177,23 @@ class BatchRandom:
                     out.append(u)
             return out
         draws = self._gen.random(n)
-        return _np.maximum(draws, 5e-324)
+        return _np.maximum(draws, MIN_UNIFORM)
+
+    def binomials(self, n: int, ps):
+        """One ``Binomial(n, p)`` draw per entry of ``ps`` (int64
+        ndarray, or list sans numpy).
+
+        The bulk counterpart of :func:`binomial` for the duplication
+        shortcuts (SWR's aggregate coins, the L1 tracker's per-update
+        copy counts): exact binomial sampling via numpy's generator,
+        falling back to per-entry scalar :func:`binomial` draws from
+        the parent stream when numpy is absent.
+        """
+        if n < 0:
+            raise ConfigurationError(f"binomial n must be >= 0, got {n}")
+        if self._gen is None:
+            return [binomial(self._rng, n, p) for p in ps]
+        return self._gen.binomial(n, _np.clip(ps, 0.0, 1.0))
 
 
 def batch_exponentials(rng: random.Random, n: int, rate: float = 1.0):

@@ -25,12 +25,17 @@ from __future__ import annotations
 
 import math
 import random
-from typing import List, Optional, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
+
+try:  # optional: vectorized bulk paths for the batched/columnar engines
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None  # type: ignore[assignment]
 
 from ..common.errors import ConfigurationError, ProtocolViolationError
-from ..common.rng import RandomSource, binomial
+from ..common.rng import BatchRandom, RandomSource, binomial
 from ..net.counters import MessageCounters
-from ..net.messages import Message, ROUND_UPDATE, SWR_SAMPLE
+from ..net.messages import Message, MessagePack, ROUND_UPDATE, SWR_SAMPLE
 from ..runtime import (
     BROADCAST,
     CoordinatorAlgorithm,
@@ -51,6 +56,7 @@ class _SwrSite(SiteAlgorithm):
         self.sample_size = sample_size
         self._rng = rng
         self._threshold = 1.0  # uniform keys live in (0,1)
+        self._batch_rng: Optional[BatchRandom] = None
         self.items_seen = 0
 
     def on_item(self, item: Item) -> List[Message]:
@@ -73,6 +79,105 @@ class _SwrSite(SiteAlgorithm):
                 Message(SWR_SAMPLE, (sampler_id, item.ident, w, key))
             )
         return messages
+
+    def _draw_batch(self, weights):
+        """The bulk draw shared by :meth:`on_items` and
+        :meth:`on_columns` — one source, so the two hooks are
+        draw-for-draw identical by construction.
+
+        Draw order (all from this site's :class:`BatchRandom`): one
+        binomial per arrival (the Corollary 1 aggregate coin, over the
+        ``s`` samplers at the batch-entry threshold), then one uniform
+        per *forwarded* copy, transformed through the conditional
+        min-of-``w``-uniforms law of :meth:`_conditional_min_key` with
+        the same clamps.  Sampler subsets are drawn afterwards by the
+        callers, per sending arrival in arrival order, from the site's
+        scalar stream.  Returns ``(hits, keys)``.
+        """
+        tau = self._threshold
+        if tau >= 1.0:
+            alphas = _np.ones(len(weights))
+        else:
+            alphas = -_np.expm1(weights * math.log1p(-tau))
+        if self._batch_rng is None:
+            self._batch_rng = BatchRandom(self._rng)
+        hits = self._batch_rng.binomials(self.sample_size, alphas)
+        total = int(hits.sum())
+        if total == 0:
+            return hits, None
+        us = self._batch_rng.uniforms(total)
+        rep_w = _np.repeat(weights, hits)
+        xs = -_np.expm1(_np.log1p(-us * _np.repeat(alphas, hits)) / rep_w)
+        if tau < 1.0:
+            _np.minimum(xs, tau * (1.0 - 1e-12), out=xs)
+        return hits, _np.maximum(xs, 1e-300, out=xs)
+
+    def on_items(self, items: Sequence[Item]) -> List[Message]:
+        """Vectorized Corollary 1 over a batch of arrivals.
+
+        One :meth:`_draw_batch` replaces the per-item scalar coins;
+        ``Item`` objects are touched only for arrivals that actually
+        forward to a sampler.  Falls back to the scalar path for
+        single-item batches (batch size 1 stays bit-identical to the
+        reference engine) and on numpy-free installs.
+        """
+        n = len(items)
+        if n <= 1 or _np is None:
+            return SiteAlgorithm.on_items(self, items)
+        weights = getattr(items, "weights", None)
+        if weights is None:
+            weights = _np.fromiter(
+                (item.weight for item in items), dtype=_np.float64, count=n
+            )
+        self.items_seen += n
+        hits, keys = self._draw_batch(weights)
+        if keys is None:
+            return []
+        out: List[Message] = []
+        pos = 0
+        for i in _np.flatnonzero(hits).tolist():
+            item = items[i]
+            for sampler_id in self._rng.sample(
+                range(self.sample_size), int(hits[i])
+            ):
+                out.append(
+                    Message(
+                        SWR_SAMPLE,
+                        (sampler_id, item.ident, item.weight, float(keys[pos])),
+                    )
+                )
+                pos += 1
+        return out
+
+    def on_columns(self, idents, weights, prep=None):
+        """Zero-object counterpart of :meth:`on_items`: identical draws
+        (same :meth:`_draw_batch`, same per-sender scalar sampler
+        subsets, in the same order) packed into one
+        :class:`~repro.net.messages.MessagePack` with
+        ``regular_kind=SWR_SAMPLE`` and the sampler index in the
+        ``regular_extra`` column."""
+        n = len(weights)
+        if n <= 1 or _np is None:
+            items = [Item(int(e), float(w)) for e, w in zip(idents, weights)]
+            if not items:
+                return ()
+            return SiteAlgorithm.on_items(self, items)
+        self.items_seen += n
+        hits, keys = self._draw_batch(weights)
+        if keys is None:
+            return ()
+        samplers: List[int] = []
+        for i in _np.flatnonzero(hits).tolist():
+            samplers.extend(
+                self._rng.sample(range(self.sample_size), int(hits[i]))
+            )
+        return MessagePack(
+            regular_idents=_np.repeat(idents, hits),
+            regular_weights=_np.repeat(weights, hits),
+            regular_keys=keys,
+            regular_kind=SWR_SAMPLE,
+            regular_extra=_np.asarray(samplers, dtype=_np.int64),
+        )
 
     def _conditional_min_key(self, w: float, tau: float, alpha: float) -> float:
         """Min-of-``w``-uniforms key conditioned on being below ``tau``.
@@ -124,18 +229,92 @@ class _SwrCoordinator(CoordinatorAlgorithm):
         worst = max(self._min_keys)
         if not math.isfinite(worst) or worst <= 0.0:
             return []
-        # Smallest beta-power >= worst: beta^-j with j = floor(-log_beta).
-        j = int(math.floor(-math.log(worst) / math.log(self.beta)))
-        j = max(j, 0)
-        bracket = self.beta**-j
-        if bracket < worst:  # float-edge correction
-            j -= 1
-            bracket = self.beta**-j
+        # Smallest beta-power >= worst (float-edge corrected).
+        bracket = self._bracket_of(worst)
         if bracket < self._announced:
             self._announced = bracket
             self.rounds_announced += 1
             return [(BROADCAST, Message(ROUND_UPDATE, (bracket,)))]
         return []
+
+    # -- bulk path: one pack per (site, batch) --------------------------
+
+    def on_message_pack(self, site_id: int, pack) -> List[Tuple[int, Message]]:
+        """Vectorized per-sampler min-key fold of a whole site batch.
+
+        One stable ``np.lexsort`` groups the pack's entries by sampler
+        and finds each sampler's minimum key (first arrival wins ties,
+        as the scalar strict-``<`` update does); ``Item`` objects are
+        built only for the winners.  The fast path commits only when
+        the folded state provably announces no round — the bracket of
+        the folded worst-of-minima is monotone in the (only-decreasing)
+        worst, so the final bracket decides whether *any*
+        ``ROUND_UPDATE`` would fire mid-pack (mirroring
+        ``EpochTracker.would_announce`` in the SWOR path).  Otherwise
+        the pack replays message by message, reproducing broadcast
+        count and timing exactly.
+        """
+        nr = pack.num_regular
+        if nr == 0:
+            return []
+        if (
+            _np is None
+            or nr <= 16  # numpy fold overhead dwarfs tiny packs
+            or pack.num_early
+            or pack.regular_kind != SWR_SAMPLE
+        ):
+            return self._replay_pack(site_id, pack)
+        samplers = pack.regular_extra
+        keys = pack.regular_keys
+        # Stable per-sampler minimum: sort by (sampler, key, arrival) —
+        # each group's head is its min key, earliest arrival on ties.
+        order = _np.lexsort((_np.arange(nr), keys, samplers))
+        sorted_samplers = samplers[order]
+        heads = order[
+            _np.flatnonzero(
+                _np.r_[True, sorted_samplers[1:] != sorted_samplers[:-1]]
+            )
+        ]
+        winners = []
+        for i in heads.tolist():
+            sid = int(samplers[i])
+            key = float(keys[i])
+            if key < self._min_keys[sid]:
+                winners.append((sid, i, key))
+        if winners:
+            folded = list(self._min_keys)
+            for sid, _, key in winners:
+                folded[sid] = key
+            worst = max(folded)
+            if (
+                math.isfinite(worst)
+                and worst > 0.0
+                and self._bracket_of(worst) < self._announced
+            ):
+                return self._replay_pack(site_id, pack)
+            ids, ws = pack.regular_idents, pack.regular_weights
+            for sid, i, key in winners:
+                self._min_keys[sid] = key
+                self._slots[sid] = Item(int(ids[i]), float(ws[i]))
+        return []
+
+    def _bracket_of(self, worst: float) -> float:
+        """Smallest beta-power ``>= worst`` (the round bracket), with
+        the same float-edge correction as :meth:`_maybe_advance_round`."""
+        j = int(math.floor(-math.log(worst) / math.log(self.beta)))
+        j = max(j, 0)
+        bracket = self.beta**-j
+        if bracket < worst:
+            j -= 1
+            bracket = self.beta**-j
+        return bracket
+
+    def _replay_pack(
+        self, site_id: int, pack
+    ) -> List[Tuple[int, Message]]:
+        """Exact sequential semantics for packs the fast path declines
+        — the interface default's expand-and-replay loop."""
+        return CoordinatorAlgorithm.on_message_pack(self, site_id, pack)
 
     def sample(self) -> List[Item]:
         """One item per sampler slot — the with-replacement sample."""

@@ -26,7 +26,7 @@ except ImportError:  # pragma: no cover - exercised on numpy-free installs
 from ..common.errors import ConfigurationError, ProtocolViolationError
 from ..common.rng import BatchRandom, RandomSource
 from ..net.counters import MessageCounters
-from ..net.messages import Message, REGULAR, ROUND_UPDATE
+from ..net.messages import Message, MessagePack, REGULAR, ROUND_UPDATE
 from ..runtime import (
     BROADCAST,
     CoordinatorAlgorithm,
@@ -74,6 +74,38 @@ class _UnweightedSite(SiteAlgorithm):
             item = items[int(i)]
             out.append(Message(REGULAR, (item.ident, item.weight, float(keys[i]))))
         return out
+
+    def on_columns(self, idents, weights, prep=None):
+        """Zero-object counterpart of :meth:`on_items`: the identical
+        uniform batch draw (same ``BatchRandom``, same order) filtered
+        against the same stale-round threshold, but the passers come
+        back as one :class:`~repro.net.messages.MessagePack` of
+        parallel columns — no ``Item`` or ``Message`` objects.  Falls
+        back to the scalar list path exactly when ``on_items`` does
+        (single-item batches, numpy-free installs)."""
+        n = len(weights)
+        if n <= 1 or _np is None:
+            items = [Item(int(e), float(w)) for e, w in zip(idents, weights)]
+            if not items:
+                return ()
+            return SiteAlgorithm.on_items(self, items)
+        self.items_seen += n
+        if self._batch_rng is None:
+            self._batch_rng = BatchRandom(self._rng)
+        keys = self._batch_rng.uniforms(n)
+        send = keys < self._threshold
+        num_send = int(_np.count_nonzero(send))
+        if num_send == 0:
+            return ()
+        if num_send != n:
+            idents = idents[send]
+            weights = weights[send]
+            keys = keys[send]
+        return MessagePack(
+            regular_idents=idents,
+            regular_weights=weights,
+            regular_keys=keys,
+        )
 
     def on_control(self, message: Message) -> None:
         if message.kind != ROUND_UPDATE:
@@ -130,6 +162,84 @@ class _UnweightedCoordinator(CoordinatorAlgorithm):
             bracket = self.r**-new_epoch
             return [(BROADCAST, Message(ROUND_UPDATE, (bracket,)))]
         return []
+
+    # -- bulk path: one pack per (site, batch) --------------------------
+
+    def on_message_pack(self, site_id: int, pack) -> List[Tuple[int, Message]]:
+        """Columnar fold of a whole site batch into the top-``s`` heap.
+
+        Mirrors :meth:`repro.core.coordinator.SworCoordinator.on_message_pack`:
+        the fast path masks the pack's keys against the entry threshold
+        and rebuilds the heap with one ``np.partition`` selection —
+        taken only when it is provably indistinguishable from
+        sequential delivery (heap already full, unambiguous selection
+        boundary, and the merged threshold stays inside the current
+        epoch bracket so no ``ROUND_UPDATE`` broadcast fires mid-pack).
+        Otherwise the pack replays message by message, reproducing the
+        exact per-round semantics including broadcast count and timing.
+        ``Item`` objects are built only for candidates that enter the
+        heap; the tie-break counter advances exactly as sequential
+        processing would have advanced it.
+        """
+        nr = pack.num_regular
+        if nr == 0:
+            return []
+        if (
+            _np is None
+            or nr <= 16  # numpy fold overhead dwarfs tiny packs
+            or pack.num_early
+            or pack.regular_kind != REGULAR
+            or len(self._heap) < self.sample_size
+        ):
+            # Underfull warm-up (threshold still 1.0, epochs may fire
+            # per message), a tiny pack, or a foreign shape: exact
+            # replay — always bit-identical, and for tiny packs as
+            # cheap as per-message delivery.
+            return self._replay_pack(site_id, pack)
+        u0 = -self._heap[0][0]
+        keys = pack.regular_keys
+        base = self._counter
+        self._counter += nr
+        cand_idx = _np.flatnonzero(keys < u0)
+        if len(cand_idx) == 0:
+            return []
+        old = _np.fromiter(
+            (-e[0] for e in self._heap),
+            dtype=_np.float64,
+            count=len(self._heap),
+        )
+        merged = _np.concatenate([old, keys[cand_idx]])
+        cut = float(_np.partition(merged, self.sample_size - 1)[
+            self.sample_size - 1
+        ])
+        replay = int((merged == cut).sum()) != 1
+        if not replay and 0.0 < cut < 1.0:
+            # Would observe_threshold(cut) cross a bracket?  Epochs are
+            # monotone in the (only-decreasing) threshold, so the final
+            # epoch decides whether any broadcast fires inside the pack.
+            replay = (
+                int(math.floor(-math.log(cut) / math.log(self.r)))
+                > self._epoch
+            )
+        if replay:
+            self._counter = base
+            return self._replay_pack(site_id, pack)
+        new_heap = [e for e in self._heap if -e[0] <= cut]
+        ids, ws = pack.regular_idents, pack.regular_weights
+        for i in cand_idx[keys[cand_idx] <= cut].tolist():
+            new_heap.append(
+                (-float(keys[i]), base + i, Item(int(ids[i]), float(ws[i])))
+            )
+        heapq.heapify(new_heap)
+        self._heap = new_heap
+        return []
+
+    def _replay_pack(
+        self, site_id: int, pack
+    ) -> List[Tuple[int, Message]]:
+        """Exact sequential semantics for packs the fast path declines
+        — the interface default's expand-and-replay loop."""
+        return CoordinatorAlgorithm.on_message_pack(self, site_id, pack)
 
     def sample(self) -> List[Item]:
         """Current uniform SWOR (increasing key order)."""

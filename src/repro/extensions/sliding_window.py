@@ -18,14 +18,47 @@ dominators, which all belong to every window that contains it — so a
 query is just "top-``s`` retained keys inside the window", which is an
 exact weighted SWOR of the window by Proposition 1.
 
+Two insertion paths share the construction:
+
+* :meth:`SlidingWindowWeightedSWOR.insert` — one arrival, one
+  ``O(retained)`` dominance scan (the historical per-item path);
+* :meth:`SlidingWindowWeightedSWOR.insert_columns` — a whole column of
+  arrivals at once, **bit-identical to per-item insertion at any chunk
+  size** (it consumes the same scalar uniforms in the same order), with
+  the dominance bookkeeping done in bulk: retained entries take one
+  vectorized rank lookup against the chunk's sorted keys, and the
+  chunk's internal dominator counts come from block-wise sorted-key
+  prefix ranks instead of ``O(retained)`` scans per arrival.  This is
+  the hook the columnar plane (:class:`~repro.stream.columns.ColumnarStream`
+  timestamp columns, the multi-query driver's
+  ``observe_columns`` path) feeds.
+
+Window-validation contract
+--------------------------
+``sample(window=N)`` answers for **any** positive ``N`` that the
+sampler's retention provably covers: the whole stream when ``horizon``
+is ``None``, else any ``N <= horizon``.  ``N`` larger than the horizon
+raises :class:`~repro.common.errors.ConfigurationError` (the data is
+gone); ``N`` larger than the number of arrivals seen so far is *valid*
+in both modes — the window simply covers the whole retained stream, the
+same answer an ``N``-long window will give until the ``N+1``-th arrival.
+Queries are validated against the *retention guarantee*, never against
+the arrival count.
+
 The distributed version remains open, as in the paper; this sampler is
 what each site (or the coordinator, on centralized replay) would run.
 """
 
 from __future__ import annotations
 
+import math
 import random
 from typing import List, Optional, Tuple
+
+try:  # optional: bulk dominance bookkeeping for insert_columns
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None  # type: ignore[assignment]
 
 from ..common.errors import ConfigurationError, InvalidWeightError
 from ..common.rng import exponential
@@ -33,15 +66,28 @@ from ..stream.item import Item
 
 __all__ = ["SlidingWindowWeightedSWOR"]
 
+#: Arrivals per internal bulk round of :meth:`insert_columns` — bounds
+#: the transient sort/rank arrays regardless of the caller's column
+#: length.
+_INSERT_CHUNK = 8192
+
+#: Block width of the chunk-internal dominator count: within a block
+#: the later-larger counts come from one ``b x b`` comparison table,
+#: across blocks from ranks in the running sorted suffix.
+_RANK_BLOCK = 256
+
 
 class _Entry:
-    __slots__ = ("index", "item", "key", "dominators")
+    __slots__ = ("index", "item", "key", "dominators", "timestamp")
 
-    def __init__(self, index: int, item: Item, key: float) -> None:
+    def __init__(
+        self, index: int, item: Item, key: float, timestamp: float
+    ) -> None:
         self.index = index
         self.item = item
         self.key = key
         self.dominators = 0  # later arrivals with a strictly larger key
+        self.timestamp = timestamp
 
 
 class SlidingWindowWeightedSWOR:
@@ -52,11 +98,13 @@ class SlidingWindowWeightedSWOR:
     sample_size:
         ``s`` — the sample size served for any queried window.
     rng:
-        Randomness source (one exponential per arrival).
+        Randomness source (one exponential per arrival — both insertion
+        paths consume exactly this, in arrival order).
     horizon:
         Optional maximum window length; arrivals older than the horizon
         are discarded outright (bounds worst-case space for infinite
-        streams).
+        streams).  See the module docstring for the window-validation
+        contract this implies.
 
     Notes
     -----
@@ -64,6 +112,11 @@ class SlidingWindowWeightedSWOR:
     arrivals in the horizon: the ``i``-th most recent arrival survives
     only if its key ranks in the top ``s`` among ``i`` i.i.d.-shaped
     competitors, an event of probability ``~min(1, s/i)``.
+
+    Every arrival also carries a *timestamp* (defaulting to its arrival
+    index), which must be non-decreasing; timestamp-suffix queries
+    (:meth:`sample_since`) are exact by the same dominance argument,
+    since a timestamp suffix is an arrival-order suffix.
     """
 
     def __init__(
@@ -82,10 +135,27 @@ class SlidingWindowWeightedSWOR:
         self.horizon = horizon
         self._rng = rng
         self._entries: List[_Entry] = []  # in arrival order
+        self._last_timestamp = -math.inf
         self.items_seen = 0
 
-    def insert(self, item: Item) -> None:
-        """Observe one arrival; O(retained) time."""
+    # -- insertion -----------------------------------------------------
+
+    def _timestamp_of(self, timestamp: Optional[float]) -> float:
+        ts = float(self.items_seen - 1) if timestamp is None else float(timestamp)
+        if ts < self._last_timestamp:
+            raise ConfigurationError(
+                f"timestamps must be non-decreasing: {ts} after "
+                f"{self._last_timestamp}"
+            )
+        self._last_timestamp = ts
+        return ts
+
+    def insert(self, item: Item, timestamp: Optional[float] = None) -> None:
+        """Observe one arrival; O(retained) time.
+
+        ``timestamp`` defaults to the arrival index and must be
+        non-decreasing across insertions.
+        """
         w = item.weight
         if w <= 0 or w != w:  # noqa: PLR0124 - NaN check
             raise InvalidWeightError(f"invalid weight {w} for item {item.ident}")
@@ -98,11 +168,143 @@ class SlidingWindowWeightedSWOR:
                 entry.dominators += 1
             if entry.dominators < s:
                 survivors.append(entry)
-        survivors.append(_Entry(self.items_seen - 1, item, key))
+        survivors.append(
+            _Entry(self.items_seen - 1, item, key, self._timestamp_of(timestamp))
+        )
         if self.horizon is not None:
             cutoff = self.items_seen - self.horizon
             survivors = [e for e in survivors if e.index >= cutoff]
         self._entries = survivors
+
+    def insert_columns(self, idents, weights, timestamps=None) -> None:
+        """Observe a whole column of arrivals at once.
+
+        Bit-identical to calling :meth:`insert` per arrival — the same
+        scalar uniforms are drawn from ``rng`` in the same order (so
+        chunk boundaries never change the sample) — but the dominance
+        bookkeeping is bulk: per internal chunk, each retained entry's
+        dominator increment is its rank deficit against the chunk's
+        sorted keys (one vectorized ``searchsorted`` for *all* retained
+        entries), and the chunk's internal later-larger counts come
+        from block-wise prefix ranks (a ``b x b`` comparison table per
+        block plus ranks against the running sorted suffix) instead of
+        the per-item ``O(retained)`` scan.  ``Item`` objects are built
+        only for arrivals that survive their own chunk.
+
+        ``idents`` / ``weights`` (and optional ``timestamps``, which
+        must be non-decreasing) are parallel sequences; numpy columns
+        from a :class:`~repro.stream.columns.ColumnarStream` are
+        consumed zero-copy.  The whole column is validated up front —
+        an invalid weight raises before *any* arrival is inserted
+        (fail-fast, unlike the per-item path's partial progress).
+        Falls back to per-item insertion when numpy is unavailable
+        (identical result, by the bit-parity above).
+        """
+        n = len(weights)
+        if n == 0:
+            return
+        if _np is None:
+            for i in range(n):
+                self.insert(
+                    Item(idents[i], weights[i]),
+                    None if timestamps is None else timestamps[i],
+                )
+            return
+        idents = _np.ascontiguousarray(idents, dtype=_np.int64)
+        weights = _np.ascontiguousarray(weights, dtype=_np.float64)
+        if len(idents) != n or (timestamps is not None and len(timestamps) != n):
+            raise ConfigurationError("insert_columns columns disagree in length")
+        bad = ~(weights > 0.0)  # catches <= 0 and NaN in one mask
+        if bad.any():
+            i = int(_np.flatnonzero(bad)[0])
+            raise InvalidWeightError(
+                f"invalid weight {float(weights[i])} for item {int(idents[i])}"
+            )
+        if timestamps is not None:
+            timestamps = _np.ascontiguousarray(timestamps, dtype=_np.float64)
+            if len(timestamps) > 1 and (_np.diff(timestamps) < 0).any():
+                raise ConfigurationError(
+                    "timestamps must be non-decreasing within a column"
+                )
+        for lo in range(0, n, _INSERT_CHUNK):
+            hi = min(lo + _INSERT_CHUNK, n)
+            self._insert_chunk(
+                idents[lo:hi],
+                weights[lo:hi],
+                None if timestamps is None else timestamps[lo:hi],
+            )
+
+    def _insert_chunk(self, idents, weights, timestamps) -> None:
+        """One bulk round: draw keys, count dominators, keep survivors."""
+        m = len(weights)
+        s = self.sample_size
+        base = self.items_seen
+        first_ts = float(base) if timestamps is None else float(timestamps[0])
+        if first_ts < self._last_timestamp:
+            raise ConfigurationError(
+                f"timestamps must be non-decreasing: {first_ts} after "
+                f"{self._last_timestamp}"
+            )
+        # The exact scalar draw sequence of per-item insert():
+        # one inverted uniform per arrival, redrawing on u <= 0.
+        rand = self._rng.random
+        log = math.log
+        us = []
+        for _ in range(m):
+            u = rand()
+            while u <= 0.0:
+                u = rand()
+            us.append(-log(u))
+        keys = weights / _np.asarray(us)
+        keys_sorted = _np.sort(keys)
+        # Retained entries: dominator increment = # chunk keys strictly
+        # greater — a rank deficit in the chunk's sorted keys.
+        survivors: List[_Entry] = []
+        if self._entries:
+            old_keys = _np.fromiter(
+                (e.key for e in self._entries),
+                dtype=_np.float64,
+                count=len(self._entries),
+            )
+            incs = m - _np.searchsorted(keys_sorted, old_keys, side="right")
+            for entry, inc in zip(self._entries, incs.tolist()):
+                entry.dominators += inc
+                if entry.dominators < s:
+                    survivors.append(entry)
+        # Chunk-internal dominators: process blocks back to front; an
+        # arrival's count is its later-larger count within its block
+        # (b x b table) plus its rank deficit in the sorted suffix of
+        # all later blocks.
+        dominators = _np.zeros(m, dtype=_np.int64)
+        suffix_sorted = keys[:0]
+        for bs in range(((m - 1) // _RANK_BLOCK) * _RANK_BLOCK, -1, -_RANK_BLOCK):
+            block = keys[bs:bs + _RANK_BLOCK]
+            cross = len(suffix_sorted) - _np.searchsorted(
+                suffix_sorted, block, side="right"
+            )
+            later = block[None, :] > block[:, None]
+            within = _np.triu(later, k=1).sum(axis=1)
+            dominators[bs:bs + _RANK_BLOCK] = cross + within
+            suffix_sorted = _np.sort(_np.concatenate([block, suffix_sorted]))
+        self.items_seen += m
+        for i in _np.flatnonzero(dominators < s).tolist():
+            entry = _Entry(
+                base + i,
+                Item(int(idents[i]), float(weights[i])),
+                float(keys[i]),
+                float(base + i) if timestamps is None else float(timestamps[i]),
+            )
+            entry.dominators = int(dominators[i])
+            survivors.append(entry)
+        self._last_timestamp = (
+            float(base + m - 1) if timestamps is None else float(timestamps[-1])
+        )
+        if self.horizon is not None:
+            cutoff = self.items_seen - self.horizon
+            survivors = [e for e in survivors if e.index >= cutoff]
+        self._entries = survivors
+
+    # -- queries -------------------------------------------------------
 
     def retained_count(self) -> int:
         """Number of retained candidates (the space metric)."""
@@ -110,23 +312,55 @@ class SlidingWindowWeightedSWOR:
 
     def sample(self, window: Optional[int] = None) -> List[Item]:
         """Weighted SWOR of the last ``window`` arrivals (default: the
-        whole horizon / stream).  Decreasing key order."""
+        whole horizon / stream).  Decreasing key order.  See the module
+        docstring for the window-validation contract."""
         return [item for item, _ in self.sample_with_keys(window)]
 
     def sample_with_keys(
         self, window: Optional[int] = None
     ) -> List[Tuple[Item, float]]:
-        """``(item, key)`` pairs for the window's top-``s`` keys."""
+        """``(item, key)`` pairs for the window's top-``s`` keys.
+
+        ``window`` is validated against the *retention guarantee*: it
+        must be positive and, when a ``horizon`` is configured, at most
+        the horizon (older data was discarded and the query would be
+        silently wrong).  A window exceeding ``items_seen`` is valid in
+        both modes and covers the whole retained stream — the answer an
+        ``N``-long window gives before the ``N+1``-th arrival.
+        """
         if window is not None:
             if window <= 0:
                 raise ConfigurationError(f"window must be positive, got {window}")
             if self.horizon is not None and window > self.horizon:
                 raise ConfigurationError(
-                    f"window {window} exceeds horizon {self.horizon}"
+                    f"window {window} exceeds horizon {self.horizon}: "
+                    "arrivals beyond the horizon were discarded, so the "
+                    "query cannot be answered exactly"
                 )
             cutoff = self.items_seen - window
         else:
             cutoff = self.items_seen - (self.horizon or self.items_seen)
         eligible = [e for e in self._entries if e.index >= cutoff]
+        eligible.sort(key=lambda e: -e.key)
+        return [(e.item, e.key) for e in eligible[: self.sample_size]]
+
+    def sample_since(self, timestamp: float) -> List[Tuple[Item, float]]:
+        """``(item, key)`` pairs for the top-``s`` keys among arrivals
+        with ``timestamp >= timestamp`` — a *timestamp-suffix* window.
+
+        Exact by the dominance argument (non-decreasing timestamps make
+        a timestamp suffix an arrival-order suffix).  Requires
+        ``horizon=None``: with a finite horizon the sampler cannot
+        prove the timestamp suffix lies inside the retained range, so
+        the query is refused rather than answered wrong — use
+        arrival-count windows (:meth:`sample_with_keys`) there.
+        """
+        if self.horizon is not None:
+            raise ConfigurationError(
+                "sample_since requires horizon=None (a finite horizon "
+                "discards arrivals the timestamp suffix may cover); use "
+                "count-based windows instead"
+            )
+        eligible = [e for e in self._entries if e.timestamp >= timestamp]
         eligible.sort(key=lambda e: -e.key)
         return [(e.item, e.key) for e in eligible[: self.sample_size]]

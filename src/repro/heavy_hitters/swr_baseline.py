@@ -19,11 +19,12 @@ argument:
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import List, Optional, Union
 
 from ..common.errors import ConfigurationError
 from ..core.swr import DistributedWeightedSWR
 from ..net.counters import MessageCounters
+from ..runtime import Engine
 from ..stream.item import DistributedStream, Item
 
 __all__ = ["SwrHeavyHitterTracker", "coupon_collector_sample_size"]
@@ -50,6 +51,8 @@ class SwrHeavyHitterTracker:
         delta: float = 0.05,
         seed: Optional[int] = None,
         sample_size_override: Optional[int] = None,
+        engine: Union[str, Engine, None] = None,
+        batch_size: Optional[int] = None,
     ) -> None:
         if not 0 < eps < 1:
             raise ConfigurationError(f"eps must be in (0,1), got {eps}")
@@ -60,7 +63,13 @@ class SwrHeavyHitterTracker:
             if sample_size_override is not None
             else coupon_collector_sample_size(eps, delta)
         )
-        self._swr = DistributedWeightedSWR(num_sites, self.sample_size, seed=seed)
+        self._swr = DistributedWeightedSWR(
+            num_sites,
+            self.sample_size,
+            seed=seed,
+            engine=engine,
+            batch_size=batch_size,
+        )
 
     def process(self, site_id: int, item: Item) -> None:
         """Feed one arrival at one site."""

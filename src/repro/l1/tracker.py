@@ -30,14 +30,24 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Iterator, List, Optional, Tuple, Union
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+try:  # optional: vectorized bulk paths for the batched/columnar engines
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None  # type: ignore[assignment]
 
 from ..common.errors import ConfigurationError, ProtocolViolationError
-from ..common.rng import RandomSource, exponential, truncated_exponential_below
+from ..common.rng import (
+    BatchRandom,
+    RandomSource,
+    exponential,
+    truncated_exponential_below,
+)
 from ..core.epochs import EpochTracker
 from ..core.sample_set import TopKeySample
 from ..net.counters import MessageCounters
-from ..net.messages import EPOCH_UPDATE, Message, REGULAR
+from ..net.messages import EPOCH_UPDATE, Message, MessagePack, REGULAR
 from ..runtime import (
     BROADCAST,
     CoordinatorAlgorithm,
@@ -76,6 +86,7 @@ class _L1Site(SiteAlgorithm):
         self._dup = duplication
         self._rng = rng
         self._threshold = 0.0  # epoch floor r^j announced by coordinator
+        self._batch_rng: Optional[BatchRandom] = None
         self.items_seen = 0
         self.keys_sent = 0
 
@@ -118,6 +129,103 @@ class _L1Site(SiteAlgorithm):
             self.keys_sent += 1
             yield Message(REGULAR, (item.ident, w, w / t))
 
+    def _draw_batch(self, weights):
+        """The bulk draw shared by :meth:`on_items` and
+        :meth:`on_columns` — one source, so the two hooks are
+        draw-for-draw identical by construction.
+
+        Against the fixed batch-entry threshold ``u``, the number of a
+        weight's ``l`` duplicates that beat it is ``Binomial(l, p)``
+        with ``p = 1 - e^{-w/u}`` — the distribution the scalar path's
+        geometric skips realize one jump at a time — and each sender's
+        key comes from the truncated-exponential law of
+        :func:`~repro.common.rng.truncated_exponential_below`,
+        vectorized.  While ``u == 0`` every copy sends with an
+        unconditional exponential key, exactly like the scalar path.
+        Returns ``(counts, keys)`` with ``keys`` in arrival order,
+        senders of one update contiguous.
+        """
+        n = len(weights)
+        dup = self._dup
+        if self._batch_rng is None:
+            self._batch_rng = BatchRandom(self._rng)
+        u = self._threshold
+        if u <= 0.0:
+            counts = _np.full(n, dup, dtype=_np.int64)
+            draws = self._batch_rng.exponentials(dup * n)
+            keys = _np.repeat(weights, dup) / draws
+            return counts, keys
+        bounds = weights / u
+        ps = -_np.expm1(-bounds)
+        counts = self._batch_rng.binomials(dup, ps)
+        total = int(counts.sum())
+        if total == 0:
+            return counts, None
+        us = self._batch_rng.uniforms(total)
+        rep_bound = _np.repeat(bounds, counts)
+        mass = -_np.expm1(-rep_bound)
+        ts = -_np.log1p(-us * mass)
+        _np.minimum(ts, rep_bound * (1.0 - 1e-12), out=ts)
+        keys = _np.repeat(weights, counts) / ts
+        return counts, keys
+
+    def on_items(self, items: Sequence["Item"]) -> List[Message]:
+        """Vectorized duplication over a batch of arrivals.
+
+        One :meth:`_draw_batch` replaces the per-update generator loop
+        (whose batch-materialized semantics against the batch-stale
+        threshold this path reproduces distribution-for-distribution);
+        ``Item`` objects are touched only for updates that actually
+        send keys.  Falls back to the scalar generator for single-item
+        batches (batch size 1 stays bit-identical to the reference
+        engine) and on numpy-free installs.
+        """
+        n = len(items)
+        if n <= 1 or _np is None:
+            return SiteAlgorithm.on_items(self, items)
+        weights = getattr(items, "weights", None)
+        if weights is None:
+            weights = _np.fromiter(
+                (item.weight for item in items), dtype=_np.float64, count=n
+            )
+        self.items_seen += n
+        counts, keys = self._draw_batch(weights)
+        if keys is None:
+            return []
+        self.keys_sent += len(keys)
+        out: List[Message] = []
+        pos = 0
+        for i in _np.flatnonzero(counts).tolist():
+            item = items[i]
+            for _ in range(int(counts[i])):
+                out.append(
+                    Message(REGULAR, (item.ident, item.weight, float(keys[pos])))
+                )
+                pos += 1
+        return out
+
+    def on_columns(self, idents, weights, prep=None):
+        """Zero-object counterpart of :meth:`on_items`: identical draws
+        (same :meth:`_draw_batch`), packed into one
+        :class:`~repro.net.messages.MessagePack` of ``REGULAR``
+        columns — one entry per sending duplicate."""
+        n = len(weights)
+        if n <= 1 or _np is None:
+            items = [Item(int(e), float(w)) for e, w in zip(idents, weights)]
+            if not items:
+                return ()
+            return SiteAlgorithm.on_items(self, items)
+        self.items_seen += n
+        counts, keys = self._draw_batch(weights)
+        if keys is None:
+            return ()
+        self.keys_sent += len(keys)
+        return MessagePack(
+            regular_idents=_np.repeat(idents, counts),
+            regular_weights=_np.repeat(weights, counts),
+            regular_keys=keys,
+        )
+
     def on_control(self, message: Message) -> None:
         if message.kind != EPOCH_UPDATE:
             raise ProtocolViolationError(
@@ -159,6 +267,64 @@ class _L1Coordinator(CoordinatorAlgorithm):
             return []
         self._announced_any = True
         return [(BROADCAST, Message(EPOCH_UPDATE, (announce,)))]
+
+    # -- bulk path: one pack per (site, batch) --------------------------
+
+    def on_message_pack(self, site_id: int, pack) -> List[Tuple[int, Message]]:
+        """Columnar fold of a whole site batch of duplicate keys.
+
+        Mirrors the SWOR coordinator's pack path: survivors of the
+        pack-entry threshold fold into the sample via one
+        :meth:`~repro.core.sample_set.TopKeySample.merge_columns`
+        rebuild, taken only when
+        :meth:`~repro.core.epochs.EpochTracker.would_announce` proves
+        the merged threshold stays inside the current epoch bracket (no
+        ``EPOCH_UPDATE`` fires mid-pack); otherwise the pack replays
+        message by message, reproducing broadcast count and timing —
+        and the exact-phase weight accounting — precisely.  On the fast
+        path the pre-announce exact weight accumulates in the same
+        left-fold order as sequential delivery, so the exact-regime
+        estimate stays bit-identical.
+        """
+        nr = pack.num_regular
+        if nr == 0:
+            return []
+        if (
+            _np is None
+            or nr <= 16  # numpy fold overhead dwarfs tiny packs
+            or pack.num_early
+            or pack.regular_kind != REGULAR
+        ):
+            return self._replay_pack(site_id, pack)
+        keys = pack.regular_keys
+        send = keys > self.sample_set.threshold
+        accepted = int(_np.count_nonzero(send))
+        if accepted and self.epochs.would_announce(
+            self.sample_set.merged_threshold(keys[send])
+        ):
+            return self._replay_pack(site_id, pack)
+        if not self._announced_any:
+            # Same left-fold float order as per-message accumulation.
+            for w in pack.regular_weights.tolist():
+                self._exact_duplicated_weight += w
+        if accepted:
+            self.sample_set.merge_columns(
+                pack.regular_idents[send],
+                pack.regular_weights[send],
+                keys[send],
+            )
+            announce = self.epochs.observe_threshold(self.sample_set.threshold)
+            if announce is not None:  # pragma: no cover - precluded above
+                self._announced_any = True
+                return [(BROADCAST, Message(EPOCH_UPDATE, (announce,)))]
+        return []
+
+    def _replay_pack(
+        self, site_id: int, pack
+    ) -> List[Tuple[int, Message]]:
+        """Exact sequential semantics for packs the fast path declines
+        — the interface default's expand-and-replay loop."""
+        return CoordinatorAlgorithm.on_message_pack(self, site_id, pack)
 
     def estimate(self) -> float:
         """``W~``: the Theorem 6 estimator ``s·u/l``.

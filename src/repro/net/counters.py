@@ -18,7 +18,7 @@ from ..common.words import (
     words_for_value,
     words_for_values_array,
 )
-from .messages import EARLY, REGULAR, Message, MessagePack
+from .messages import EARLY, Message, MessagePack
 
 __all__ = ["MessageCounters"]
 
@@ -96,6 +96,7 @@ class MessageCounters:
         if ne == 0 and nr == 0:
             return
         self.upstream += ne + nr
+        extra = pack.regular_extra
         max_words = self.max_message_words
         words = 0
         if ne + nr <= _SCALAR_PACK_LIMIT:
@@ -109,13 +110,19 @@ class MessageCounters:
                     if per > max_words:
                         max_words = per
             if nr:
-                self.by_kind[REGULAR] += nr
-                for e, w, k in zip(
+                self.by_kind[pack.regular_kind] += nr
+                extra_list = (
+                    extra.tolist() if extra is not None else [None] * nr
+                )
+                for e, w, k, x in zip(
                     pack.regular_idents.tolist(),
                     pack.regular_weights.tolist(),
                     pack.regular_keys.tolist(),
+                    extra_list,
                 ):
                     per = _value_words(e) + _value_words(w) + _value_words(k) + 1
+                    if x is not None:
+                        per += _value_words(x)
                     words += per
                     if per > max_words:
                         max_words = per
@@ -128,10 +135,12 @@ class MessageCounters:
                 words += int(per.sum())
                 max_words = max(max_words, int(per.max()))
             if nr:
-                self.by_kind[REGULAR] += nr
+                self.by_kind[pack.regular_kind] += nr
                 per = words_for_values_array(pack.regular_idents)
                 per += words_for_values_array(pack.regular_weights)
                 per += words_for_values_array(pack.regular_keys)
+                if extra is not None:
+                    per += words_for_values_array(extra)
                 per += 1  # the kind tag
                 words += int(per.sum())
                 max_words = max(max_words, int(per.max()))

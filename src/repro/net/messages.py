@@ -101,15 +101,23 @@ class MessagePack:
 
     The columnar runtime's wire unit: instead of ``N`` separate
     :class:`Message` objects per (site, batch), a single pack carries
-    the batch's ``EARLY`` and ``REGULAR`` entries as parallel arrays,
-    in the exact order the batched engine would have delivered the
-    individual messages (all earlies in arrival order, then all
-    regulars in arrival order).  A pack is pure transport: it stands
-    for its constituent messages, and its word accounting (see
+    the batch's ``EARLY`` and keyed entries as parallel arrays, in the
+    exact order the batched engine would have delivered the individual
+    messages (all earlies in arrival order, then all keyed entries in
+    arrival order).  A pack is pure transport: it stands for its
+    constituent messages, and its word accounting (see
     :meth:`~repro.net.counters.MessageCounters.record_upstream_pack`)
     equals the sum over :meth:`messages` exactly — a pack is never
     cheaper or dearer than what it replaces, it just avoids the
     per-message Python objects.
+
+    The keyed ("regular") half is kind-parametric so every protocol's
+    columnar path shares one wire unit: ``regular_kind`` defaults to
+    ``REGULAR`` (payload ``(ident, weight, key)`` — weighted SWOR,
+    unweighted SWOR, the L1 tracker), and the SWR reduction sets it to
+    ``SWR_SAMPLE`` with the per-entry sampler index in the
+    ``regular_extra`` column (payload
+    ``(sampler, ident, weight, key)``).
 
     ``early_levels`` is the per-early level index (a pure function of
     the weight and the protocol's ``r``, computed vectorized at the
@@ -129,6 +137,8 @@ class MessagePack:
         "regular_idents",
         "regular_weights",
         "regular_keys",
+        "regular_kind",
+        "regular_extra",
         "early_items",
     )
 
@@ -140,6 +150,8 @@ class MessagePack:
         regular_idents=None,
         regular_weights=None,
         regular_keys=None,
+        regular_kind: str = REGULAR,
+        regular_extra=None,
     ) -> None:
         self.early_idents = early_idents
         self.early_weights = early_weights
@@ -147,6 +159,8 @@ class MessagePack:
         self.regular_idents = regular_idents
         self.regular_weights = regular_weights
         self.regular_keys = regular_keys
+        self.regular_kind = regular_kind
+        self.regular_extra = regular_extra
         self.early_items = None
 
     @property
@@ -172,17 +186,17 @@ class MessagePack:
                     (int(self.early_idents[i]), float(self.early_weights[i])),
                 )
             )
+        kind = self.regular_kind
+        extra = self.regular_extra
         for i in range(self.num_regular):
-            out.append(
-                Message(
-                    REGULAR,
-                    (
-                        int(self.regular_idents[i]),
-                        float(self.regular_weights[i]),
-                        float(self.regular_keys[i]),
-                    ),
-                )
+            payload = (
+                int(self.regular_idents[i]),
+                float(self.regular_weights[i]),
+                float(self.regular_keys[i]),
             )
+            if extra is not None:
+                payload = (int(extra[i]),) + payload
+            out.append(Message(kind, payload))
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

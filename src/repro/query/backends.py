@@ -260,6 +260,23 @@ class CentralizedQuery(CompiledQuery):
     def observe_items(self, items: Sequence[Item]) -> None:
         """Consume a chunk of arrivals in global order."""
 
+    def observe_columns(self, idents, weights, timestamps=None) -> None:
+        """Consume a chunk of arrivals given as parallel columns.
+
+        The columnar counterpart of :meth:`observe_items`, fed by the
+        driver when the stream exposes columns (always for a
+        :class:`~repro.stream.columns.ColumnarStream`, via the cached
+        SoA view for an ``Item``-backed stream).  The default wraps the
+        columns in a lazy
+        :class:`~repro.stream.columns.ItemColumnView` — value-identical
+        ``Item`` objects, materialized transiently — so every backend
+        stays correct; backends with a native bulk path (the
+        sliding-window sampler) override it.
+        """
+        from ..stream.columns import ItemColumnView
+
+        self.observe_items(ItemColumnView(idents, weights))
+
 
 class _SlidingWindowBackedQuery(CentralizedQuery):
     def __init__(
@@ -276,6 +293,13 @@ class _SlidingWindowBackedQuery(CentralizedQuery):
         insert = self.sampler.insert
         for item in items:
             insert(item)
+
+    def observe_columns(self, idents, weights, timestamps=None) -> None:
+        """Native columnar path — bit-identical draws to
+        :meth:`observe_items` at any chunking (see
+        :meth:`repro.extensions.SlidingWindowWeightedSWOR.insert_columns`),
+        without materializing the chunk's ``Item`` objects."""
+        self.sampler.insert_columns(idents, weights, timestamps)
 
     def answer(self) -> Estimate:
         window = min(self.query.window, max(self.sampler.items_seen, 1))

@@ -1,7 +1,15 @@
 """Concurrent multi-query driver: many protocols, one stream pass.
 
 :class:`MultiQueryDriver` answers N heterogeneous registered queries
-over a *single shared pass* of a :class:`~repro.stream.item.DistributedStream`.
+over a *single shared pass* of a
+:class:`~repro.stream.item.DistributedStream` **or**
+:class:`~repro.stream.columns.ColumnarStream` — the pass needs only the
+engine-facing stream surface (``arrays()`` / a lazy ``items``
+sequence), so a columnar stream is consumed without ever
+materializing per-arrival objects: network-backed queries read the
+ident/weight columns through zero-copy
+:class:`~repro.runtime.batched.ItemBatch` views, and centralized
+backends take column slices through ``observe_columns``.
 Each query is backed by its own protocol instance (weighted/unweighted
 SWOR, SWR, L1 tracker, sliding-window sampler) with an independent,
 deterministically derived RNG substream — the same sample a standalone
@@ -109,16 +117,38 @@ class MultiQueryResult:
 
 class _GenericConsumer:
     """Drives one network-backed query through the shared batches the
-    same way the batched engine would: bulk hook, then flush."""
+    same way the batched engine would: bulk hook, then flush.
 
-    __slots__ = ("instance", "network")
+    In columnar mode the site's
+    :meth:`~repro.runtime.interfaces.SiteAlgorithm.on_columns` hook is
+    fed the batch's ident/weight columns directly and any resulting
+    :class:`~repro.net.messages.MessagePack` is delivered whole —
+    exactly what a standalone
+    :class:`~repro.runtime.ColumnarEngine` run of the same protocol
+    does, so per-query samples and counters stay bit-identical to it
+    (SWR, unweighted, and L1 queries all ride their native pack paths).
+    """
 
-    def __init__(self, instance: NetworkBackedQuery) -> None:
+    __slots__ = ("instance", "network", "columnar")
+
+    def __init__(
+        self, instance: NetworkBackedQuery, columnar: bool = False
+    ) -> None:
         self.instance = instance
         self.network = instance.network
+        self.columnar = columnar
 
     def site_batch(self, site_id: int, batch: Sequence[Item]) -> None:
         network = self.network
+        idents = getattr(batch, "idents", None)
+        if self.columnar and idents is not None and len(batch) > 1:
+            result = network.sites[site_id].on_columns(idents, batch.weights)
+            if isinstance(result, MessagePack):
+                network.deliver_pack(site_id, result)
+            else:
+                for message in result:
+                    network.deliver_upstream(site_id, message)
+            return
         for message in network.sites[site_id].on_items(batch):
             network.deliver_upstream(site_id, message)
 
@@ -452,7 +482,11 @@ class MultiQueryDriver:
                 )
             else:
                 generic.extend(members)
-        consumers.extend(_GenericConsumer(instance) for instance in generic)
+        columnar = self.engine == "columnar"
+        consumers.extend(
+            _GenericConsumer(instance, columnar=columnar)
+            for instance in generic
+        )
         return consumers
 
     def run(
@@ -461,6 +495,12 @@ class MultiQueryDriver:
         checkpoints: Optional[Iterable[int]] = None,
     ) -> MultiQueryResult:
         """Replay ``stream`` once, feeding every query.
+
+        ``stream`` may be a :class:`~repro.stream.item.DistributedStream`
+        or a :class:`~repro.stream.columns.ColumnarStream`; per-query
+        answers are bit-identical between the two representations of
+        the same data (``Item`` objects are only ever built lazily,
+        for arrivals that reach a sample or a level set).
 
         ``checkpoints`` (1-indexed global item counts) snapshot every
         query's answer mid-stream; batches split so each snapshot is
@@ -487,6 +527,13 @@ class MultiQueryDriver:
         networks = [instance.network for instance in self._network_backed]
         items = stream.items
         arrays = stream.arrays()
+        # Centralized backends consume columns whenever the stream has
+        # them (ident column present) — bit-identical answers, no
+        # transient Item chunks; otherwise they get lazy item slices.
+        columns_for_centralized = (
+            arrays is not None and arrays[2] is not None and centralized
+        )
+        ts_column = getattr(stream, "timestamps", None)
         # batch_windows is the same schedule BatchedEngine iterates —
         # the source of the driver's run-for-run parity with it.
         for lo, hi in batch_windows(
@@ -498,7 +545,13 @@ class MultiQueryDriver:
                 )
             else:
                 self._run_window_python(consumers, stream, lo, hi)
-            if centralized:
+            if columns_for_centralized:
+                ts = None if ts_column is None else ts_column[lo:hi]
+                for instance in centralized:
+                    instance.observe_columns(
+                        arrays[2][lo:hi], arrays[1][lo:hi], ts
+                    )
+            elif centralized:
                 window_items = items[lo:hi]
                 for instance in centralized:
                     instance.observe_items(window_items)

@@ -9,6 +9,8 @@ same global order as three parallel numpy columns —
 * ``idents``  (int64)   — the item identifiers ``e``;
 * ``weights`` (float64) — the positive weights ``w``;
 * ``sites``   (int64)   — the per-arrival site assignment;
+* ``timestamps`` (float64, optional) — non-decreasing per-arrival
+  timestamps, consumed by the sliding-window columnar path;
 
 — and materializes :class:`~repro.stream.item.Item` objects *lazily*,
 only for the (few) arrivals that actually enter a sample, a level set,
@@ -100,9 +102,19 @@ class ColumnarStream:
     num_sites:
         The number of sites ``k``; every entry of ``sites`` must lie in
         ``0..k-1``.
+    timestamps:
+        Optional parallel float64 column of per-arrival timestamps,
+        **non-decreasing** in arrival order (a timestamp suffix is then
+        an arrival-order suffix, which is what makes timestamp windows
+        exact for the sliding-window sampler — see
+        :meth:`repro.extensions.SlidingWindowWeightedSWOR.sample_since`).
+        ``None`` (the default) means consumers fall back to arrival
+        indices.
     """
 
-    def __init__(self, idents, weights, sites, num_sites: int) -> None:
+    def __init__(
+        self, idents, weights, sites, num_sites: int, timestamps=None
+    ) -> None:
         _require_numpy()
         idents = _np.ascontiguousarray(idents, dtype=_np.int64)
         weights = _np.ascontiguousarray(weights, dtype=_np.float64)
@@ -119,10 +131,22 @@ class ColumnarStream:
             raise ConfigurationError(
                 f"site index {bad} out of range for k={num_sites}"
             )
+        if timestamps is not None:
+            timestamps = _np.ascontiguousarray(timestamps, dtype=_np.float64)
+            if len(timestamps) != len(weights):
+                raise ConfigurationError(
+                    f"column lengths disagree: {len(timestamps)} timestamps, "
+                    f"{len(weights)} weights"
+                )
+            if len(timestamps) > 1 and (_np.diff(timestamps) < 0).any():
+                raise ConfigurationError(
+                    "timestamps must be non-decreasing in arrival order"
+                )
         self.idents = idents
         self.weights = weights
         self.sites = sites
         self.num_sites = num_sites
+        self.timestamps = timestamps
 
     # -- construction --------------------------------------------------
 

@@ -176,3 +176,85 @@ def test_key_stream_yields_positive_keys(rng):
     keys = list(key_stream(rng, [1.0, 5.0, 2.5]))
     assert len(keys) == 3
     assert all(k > 0 for k in keys)
+
+
+class TestZeroGuardPolicy:
+    """The two exponential zero-guard policies (scalar redraw vs batch
+    clamp) both pin ``w/t`` keys finite — the regression the unified
+    policy documentation promises (see ``MIN_EXPONENTIAL``)."""
+
+    def test_scalar_redraws_on_zero_uniform(self):
+        from repro.common.rng import exponential
+
+        class ZeroThenHalf:
+            def __init__(self):
+                self.calls = 0
+
+            def random(self):
+                self.calls += 1
+                return 0.0 if self.calls < 3 else 0.5
+
+        rng = ZeroThenHalf()
+        t = exponential(rng)
+        assert rng.calls == 3  # two redraws on u == 0
+        assert t == -math.log(0.5)
+        assert math.isfinite(1e300 / t)
+
+    def test_batch_clamps_zero_draws(self):
+        np = pytest.importorskip("numpy")
+        from repro.common.rng import MIN_EXPONENTIAL, BatchRandom
+
+        batch = BatchRandom(random.Random(3))
+
+        class Zeros:
+            def standard_exponential(self, n):
+                return np.zeros(n)
+
+        batch._gen = Zeros()
+        draws = batch.exponentials(16)
+        assert (draws == MIN_EXPONENTIAL).all()
+        keys = 1e6 / draws  # the largest generator weight
+        assert np.isfinite(keys).all() and (keys > 0).all()
+
+    def test_both_paths_yield_finite_keys_for_extreme_weights(self):
+        np = pytest.importorskip("numpy")
+        from repro.common.rng import BatchRandom
+
+        rng = random.Random(11)
+        weights = [1e-300, 1.0, 1e6, 1e300]
+        for w in weights:
+            for _ in range(200):
+                assert math.isfinite(w / exponential(rng))
+        draws = BatchRandom(random.Random(12)).exponentials(5000)
+        for w in weights:
+            assert np.isfinite(w / draws).all()
+
+    def test_batch_uniforms_strictly_inside_unit_interval(self):
+        np = pytest.importorskip("numpy")
+        from repro.common.rng import MIN_UNIFORM, BatchRandom
+
+        batch = BatchRandom(random.Random(5))
+
+        class Zeros:
+            def random(self, n):
+                return np.zeros(n)
+
+        batch._gen = Zeros()
+        assert (batch.uniforms(8) == MIN_UNIFORM).all()
+
+    def test_binomials_bulk_matches_law(self):
+        np = pytest.importorskip("numpy")
+        from repro.common.rng import BatchRandom
+
+        batch = BatchRandom(random.Random(9))
+        ps = np.full(20_000, 0.25)
+        draws = np.asarray(batch.binomials(8, ps))
+        assert draws.min() >= 0 and draws.max() <= 8
+        assert abs(float(draws.mean()) - 2.0) < 0.05
+        # numpy-free fallback draws from the parent stream
+        scalar = BatchRandom(random.Random(9))
+        scalar._gen = None
+        out = scalar.binomials(8, [0.0, 1.0, 0.5])
+        assert out[0] == 0 and out[1] == 8 and 0 <= out[2] <= 8
+        with pytest.raises(ConfigurationError):
+            scalar.binomials(-1, [0.5])
