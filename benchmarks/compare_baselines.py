@@ -68,6 +68,16 @@ BASELINES: Dict[str, Dict[str, List[str]]] = {
         ],
         "absolute": ["swr_columnar_items_per_sec"],
     },
+    # The speedup here is the multiprocess gain over the single-process
+    # columnar engine at the SAME batch size — meaningful only when the
+    # recording machine had >= workers cores (the JSON's "cpu_count"
+    # says; the in-bench REPRO_BENCH_SHARD_MIN_SPEEDUP gate enforces
+    # the real 2.5x floor on multicore runners).
+    "BENCH_sharded.json": {
+        "config": ["items", "sites", "sample_size", "workers", "batch_size"],
+        "ratios": ["speedup"],
+        "absolute": ["sharded_items_per_sec"],
+    },
 }
 
 
@@ -141,7 +151,13 @@ def main(argv=None) -> int:
     if args.only:
         unknown = [n for n in args.only if n not in BASELINES]
         if unknown:
-            print(f"unknown baseline names: {unknown}", file=sys.stderr)
+            # A typo'd --only must fail loudly, not silently compare
+            # nothing and report success.
+            print(
+                f"--only got unknown baseline names {unknown}; "
+                f"known: {names}",
+                file=sys.stderr,
+            )
             return 2
         names = sorted(args.only)
 

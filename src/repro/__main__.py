@@ -1,7 +1,14 @@
-"""``python -m repro`` — dispatch to the CLI."""
+"""``python -m repro`` — dispatch to the CLI.
+
+Guarded so that importing this module never runs the CLI: the sharded
+engine's spawn-based worker processes (and anything else that re-imports
+the main module, e.g. under ``--profile``) must not recursively
+re-execute the command line.
+"""
 
 import sys
 
 from .cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

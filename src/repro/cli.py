@@ -15,13 +15,19 @@ against the relevant closed-form bound).  ``query`` runs a whole
 catalog of estimation queries concurrently over one shared stream pass
 (see :mod:`repro.query`).
 
-Every subcommand accepts ``--engine {reference,batched,columnar}``
-(and ``--batch-size N`` for the batched/columnar engines) to pick the
-execution runtime; see :mod:`repro.runtime`.  Every protocol has a
-native columnar fast path, so ``--engine columnar`` is bit-identical
-to ``batched`` on each subcommand, just faster.  ``--seed`` may be
+Every subcommand accepts ``--engine {reference,batched,columnar,sharded}``
+(``--batch-size N`` for the batching engines, ``--workers N`` for the
+sharded engine) to pick the execution runtime; see :mod:`repro.runtime`.
+Every protocol has a native columnar fast path, so ``--engine columnar``
+is bit-identical to ``batched`` on each subcommand, just faster —
+and ``--engine sharded`` runs the site passes across worker processes,
+bit-identical to ``columnar`` at any worker count.  ``--seed`` may be
 given either globally (``repro --seed 7 swor``) or per subcommand; the
 subcommand's value wins when both are present.
+
+``--profile`` profiles the parent process: under ``--engine sharded``
+that is the coordinator fold and transport (the interesting hot path);
+worker processes are spawned fresh and are not traced.
 """
 
 from __future__ import annotations
@@ -86,15 +92,24 @@ def build_parser() -> argparse.ArgumentParser:
             default="reference",
             help="execution engine (reference = synchronous round model, "
             "batched = vectorized chunked fast path, columnar = zero-object "
-            "pack fast path, bit-identical to batched; default: reference)",
+            "pack fast path, bit-identical to batched, sharded = columnar "
+            "site passes across worker processes, bit-identical to "
+            "columnar; default: reference)",
         )
         p.add_argument(
             "--batch-size",
             type=int,
             default=None,
-            help="steady-state batch size for --engine batched/columnar "
-            f"(default: {DEFAULT_BATCH_SIZE}, ramping up from "
+            help="steady-state batch size for --engine batched/columnar/"
+            f"sharded (default: {DEFAULT_BATCH_SIZE}, ramping up from "
             f"{DEFAULT_INITIAL_BATCH_SIZE})",
+        )
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="worker process count for --engine sharded "
+            "(default: all CPU cores)",
         )
         p.add_argument(
             "--profile",
@@ -164,14 +179,24 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _check_engine_flags(args: argparse.Namespace) -> None:
     """Shared flag validation for every subcommand."""
-    if args.batch_size is not None and args.engine not in ("batched", "columnar"):
-        raise SystemExit("--batch-size requires --engine batched or columnar")
+    if args.batch_size is not None and args.engine not in (
+        "batched",
+        "columnar",
+        "sharded",
+    ):
+        raise SystemExit(
+            "--batch-size requires --engine batched, columnar, or sharded"
+        )
+    if args.workers is not None and args.engine != "sharded":
+        raise SystemExit("--workers requires --engine sharded")
 
 
 def _engine_of(args: argparse.Namespace):
     """Resolve the subcommand's engine selection."""
     _check_engine_flags(args)
-    return get_engine(args.engine, batch_size=args.batch_size)
+    return get_engine(
+        args.engine, batch_size=args.batch_size, workers=args.workers
+    )
 
 
 def _resolve_seed(args: argparse.Namespace) -> None:
@@ -305,6 +330,12 @@ def _cmd_query(args: argparse.Namespace) -> str:
     )
 
     _check_engine_flags(args)
+    if args.workers is not None:
+        raise SystemExit(
+            "repro query runs its fused multi-query pass in-process; "
+            "--workers does not apply (engine 'sharded' selects the "
+            "columnar data plane)"
+        )
     rng = random.Random(args.seed)
     items = zipf_stream(args.items, rng, alpha=args.alpha)
     stream = round_robin(items, args.sites)

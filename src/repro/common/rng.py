@@ -179,6 +179,22 @@ class BatchRandom:
         draws = self._gen.random(n)
         return _np.maximum(draws, MIN_UNIFORM)
 
+    def snapshot(self):
+        """Opaque generator state for deterministic replay.
+
+        Paired with :meth:`restore`; used by the sharded engine's
+        rollback path to rewind a site to a window boundary without
+        pickling.  ``None`` when numpy is absent (the scalar fallback
+        draws from the parent stream, whose state the caller snapshots
+        separately).
+        """
+        return None if self._gen is None else self._gen.bit_generator.state
+
+    def restore(self, state) -> None:
+        """Rewind to a :meth:`snapshot` taken on this instance."""
+        if state is not None:
+            self._gen.bit_generator.state = state
+
     def binomials(self, n: int, ps):
         """One ``Binomial(n, p)`` draw per entry of ``ps`` (int64
         ndarray, or list sans numpy).

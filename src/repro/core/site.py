@@ -329,6 +329,44 @@ class SworSite(SiteAlgorithm):
             keys,
         )
 
+    def snapshot_state(self) -> tuple:
+        """Fast window-boundary snapshot for the sharded engine.
+
+        Captures exactly the state the site-pass hooks mutate: the two
+        RNG streams (scalar + batch), the control view (mask,
+        threshold), and the resource counters.  The ``_sat_table``
+        cache is deliberately excluded — it is keyed by the mask and
+        rebuilds itself on mismatch.
+        """
+        batch = self._batch_rng
+        return (
+            self._rng.getstate(),
+            # Distinguish "no batch stream yet" (its creation draw must
+            # be re-consumed on replay) from an existing stream's state.
+            None if batch is None else (batch.snapshot(),),
+            self._saturated_mask,
+            self._threshold,
+            self.items_seen,
+            self.exponentials_generated,
+            self.bits_generated,
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        rng_state, batch_state, mask, threshold, seen, exps, bits = state
+        self._rng.setstate(rng_state)
+        if batch_state is None:
+            # The batch stream (if any) was created after the snapshot;
+            # dropping it un-consumes its derivation draw (restored
+            # into ``_rng`` above), so replay re-derives it identically.
+            self._batch_rng = None
+        else:
+            self._batch_rng.restore(batch_state[0])
+        self._saturated_mask = mask
+        self._threshold = threshold
+        self.items_seen = seen
+        self.exponentials_generated = exps
+        self.bits_generated = bits
+
     def on_control(self, message: Message) -> None:
         """Handle ``LEVEL_SATURATED`` / ``EPOCH_UPDATE`` broadcasts."""
         if message.kind == LEVEL_SATURATED:

@@ -21,7 +21,7 @@ Message kinds mirror the paper's vocabulary:
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Dict, Tuple
 
 __all__ = [
     "Message",
@@ -198,6 +198,93 @@ class MessagePack:
                 payload = (int(extra[i]),) + payload
             out.append(Message(kind, payload))
         return out
+
+    #: Canonical wire dtype per column (the site fast paths already
+    #: produce exactly these; :meth:`from_arrays` re-coerces so a pack
+    #: that crossed a process or network boundary word-accounts exactly
+    #: like the pack it was serialized from).
+    WIRE_DTYPES = {
+        "early_idents": "int64",
+        "early_weights": "float64",
+        "early_levels": "int64",
+        "regular_idents": "int64",
+        "regular_weights": "float64",
+        "regular_keys": "float64",
+        "regular_extra": "int64",
+    }
+
+    def to_arrays(self) -> Tuple[str, Dict[str, object]]:
+        """Pure-array wire form: ``(regular_kind, {column: array})``.
+
+        The inverse of :meth:`from_arrays`.  Only the columns that are
+        present appear in the dict (see :data:`WIRE_DTYPES` for the
+        full set); the ``early_items`` memo is transport-local and
+        deliberately **not** part of the wire form.  This is what the
+        sharded engine ships between worker and coordinator processes —
+        a handful of flat int64/float64 buffers per (site, batch) — and
+        doubles as the natural frame for shipping packs over a real
+        network.
+        """
+        columns: Dict[str, object] = {}
+        for name in self.WIRE_DTYPES:
+            value = getattr(self, name)
+            if value is not None:
+                columns[name] = value
+        return self.regular_kind, columns
+
+    @classmethod
+    def from_arrays(
+        cls, regular_kind: str, columns: Dict[str, object]
+    ) -> "MessagePack":
+        """Rebuild a pack from its :meth:`to_arrays` wire form.
+
+        Columns are coerced to their canonical :data:`WIRE_DTYPES`
+        (no-copy for arrays already in wire dtype, e.g. zero-copy views
+        over a shared-memory ring), so ``pack.messages()`` and the
+        counter accounting of the round-tripped pack match the original
+        exactly.  Requires numpy.
+        """
+        try:
+            import numpy as _np
+        except ImportError:  # pragma: no cover - packs only exist with numpy
+            from ..common.errors import ConfigurationError
+
+            raise ConfigurationError(
+                "MessagePack.from_arrays requires numpy"
+            ) from None
+        unknown = set(columns) - set(cls.WIRE_DTYPES)
+        if unknown:
+            raise ValueError(f"unknown MessagePack columns: {sorted(unknown)}")
+        kwargs = {
+            name: _np.ascontiguousarray(value, dtype=cls.WIRE_DTYPES[name])
+            for name, value in columns.items()
+        }
+        # Each half travels complete or not at all (``regular_extra``
+        # is the one genuinely optional column): a partial half would
+        # build a pack that only crashes later, deep in a coordinator
+        # fold — wire input gets rejected here, at the boundary.
+        for half, required in (
+            ("early", ("early_idents", "early_weights", "early_levels")),
+            ("regular", ("regular_idents", "regular_weights", "regular_keys")),
+        ):
+            present = [name for name in required if name in kwargs]
+            if present and len(present) != len(required):
+                missing = sorted(set(required) - set(present))
+                raise ValueError(
+                    f"incomplete {half} half: missing columns {missing}"
+                )
+            lengths = {
+                name: len(value)
+                for name, value in kwargs.items()
+                if name.startswith(half)
+            }
+            if len(set(lengths.values())) > 1:
+                raise ValueError(f"{half} column lengths disagree: {lengths}")
+        if "regular_extra" in kwargs and "regular_idents" not in kwargs:
+            raise ValueError(
+                "regular_extra requires the regular half to be present"
+            )
+        return cls(regular_kind=regular_kind, **kwargs)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"MessagePack(early={self.num_early}, regular={self.num_regular})"

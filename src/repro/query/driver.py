@@ -376,6 +376,12 @@ class MultiQueryDriver:
         SWOR groups — per-query results stay bit-identical), or
         ``"reference"`` (batch size 1 — the synchronous round model,
         bit-identical to :class:`~repro.runtime.ReferenceEngine`).
+        ``"sharded"`` is accepted as a passthrough and selects the
+        columnar data plane: the driver's fused multi-query pass is
+        itself the execution engine and runs in-process (per-query
+        results are bit-identical either way); shard-parallel *site*
+        execution applies to single-protocol runs via
+        :class:`~repro.runtime.ShardedEngine`.
     batch_size / initial_batch_size:
         Batch ramp for the batched engine, as in
         :class:`~repro.runtime.batched.BatchedEngine`.
@@ -400,10 +406,10 @@ class MultiQueryDriver:
     ) -> None:
         if num_sites <= 0:
             raise ConfigurationError(f"num_sites must be positive, got {num_sites}")
-        if engine not in ("batched", "columnar", "reference"):
+        if engine not in ("batched", "columnar", "sharded", "reference"):
             raise ConfigurationError(
-                "engine must be 'batched', 'columnar', or 'reference', "
-                f"got {engine!r}"
+                "engine must be 'batched', 'columnar', 'sharded', or "
+                f"'reference', got {engine!r}"
             )
         # None means "engine default", matching the protocol facades.
         if batch_size is None:
@@ -426,7 +432,10 @@ class MultiQueryDriver:
         self.batch_size = batch_size
         self.initial_batch_size = min(initial_batch_size, batch_size)
         self.confidence = confidence
-        self.fuse = fuse and engine in ("batched", "columnar")
+        #: Whether the shared pass runs the zero-object pack data plane
+        #: (the single source for the three mode checks below).
+        self._columnar_plane = engine in ("columnar", "sharded")
+        self.fuse = fuse and (engine == "batched" or self._columnar_plane)
         self.compiled: List[CompiledQuery] = [
             compile_query(query, num_sites, seed, confidence) for query in catalog
         ]
@@ -477,12 +486,12 @@ class MultiQueryDriver:
             if len(members) >= 2:
                 consumers.append(
                     _FusedSworGroup(
-                        config, members, columnar=self.engine == "columnar"
+                        config, members, columnar=self._columnar_plane
                     )
                 )
             else:
                 generic.extend(members)
-        columnar = self.engine == "columnar"
+        columnar = self._columnar_plane
         consumers.extend(
             _GenericConsumer(instance, columnar=columnar)
             for instance in generic
@@ -541,7 +550,8 @@ class MultiQueryDriver:
         ):
             if arrays is not None:
                 self._run_window_numpy(
-                    consumers, items, arrays, lo, hi, self.engine == "columnar"
+                    consumers, items, arrays, lo, hi,
+                    self._columnar_plane,
                 )
             else:
                 self._run_window_python(consumers, stream, lo, hi)

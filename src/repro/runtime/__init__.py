@@ -33,6 +33,7 @@ from .columnar import ColumnarEngine
 from .interfaces import BROADCAST, CoordinatorAlgorithm, SiteAlgorithm
 from .network import Network
 from .reference import ReferenceEngine
+from .sharded import ShardedEngine, ShardedWorkerError
 
 __all__ = [
     "BROADCAST",
@@ -43,6 +44,8 @@ __all__ = [
     "ReferenceEngine",
     "BatchedEngine",
     "ColumnarEngine",
+    "ShardedEngine",
+    "ShardedWorkerError",
     "ItemBatch",
     "ENGINES",
     "get_engine",
@@ -53,12 +56,14 @@ ENGINES: Dict[str, Type[Engine]] = {
     ReferenceEngine.name: ReferenceEngine,
     BatchedEngine.name: BatchedEngine,
     ColumnarEngine.name: ColumnarEngine,
+    ShardedEngine.name: ShardedEngine,
 }
 
 
 def get_engine(
     spec: Union[str, Engine, None] = None,
     batch_size: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> Engine:
     """Resolve an engine from a name, an instance, or ``None``.
 
@@ -66,16 +71,23 @@ def get_engine(
     ----------
     spec:
         ``None`` (reference), a registry name (``"reference"`` /
-        ``"batched"`` / ``"columnar"``), or an already-built
-        :class:`Engine` instance (returned as-is).
+        ``"batched"`` / ``"columnar"`` / ``"sharded"``), or an
+        already-built :class:`Engine` instance (returned as-is).
     batch_size:
         Steady-state batch size for the batching engines; rejected for
         engines that do not batch.
+    workers:
+        Worker process count for the sharded engine (defaults to all
+        CPU cores); rejected for engines that do not shard.
     """
     if isinstance(spec, Engine):
         if batch_size is not None:
             raise ConfigurationError(
                 "batch_size cannot be combined with an engine instance"
+            )
+        if workers is not None:
+            raise ConfigurationError(
+                "workers cannot be combined with an engine instance"
             )
         return spec
     name = "reference" if spec is None else str(spec)
@@ -83,10 +95,17 @@ def get_engine(
     if cls is None:
         known = ", ".join(sorted(ENGINES))
         raise ConfigurationError(f"unknown engine {name!r} (known: {known})")
+    kwargs = {}
     if batch_size is not None:
         if not issubclass(cls, BatchedEngine):
             raise ConfigurationError(
                 f"engine {name!r} does not take a batch_size"
             )
-        return cls(batch_size=batch_size)
-    return cls()
+        kwargs["batch_size"] = batch_size
+    if workers is not None:
+        if not issubclass(cls, ShardedEngine):
+            raise ConfigurationError(
+                f"engine {name!r} does not take workers"
+            )
+        kwargs["workers"] = workers
+    return cls(**kwargs)

@@ -37,6 +37,17 @@ BROADCAST = -1
 class SiteAlgorithm(ABC):
     """Per-site half of a distributed protocol."""
 
+    #: Whether this site may be shipped to (and snapshotted inside) a
+    #: worker process by the multiprocess sharded engine.  Requires the
+    #: instance to survive a ``pickle`` round trip with full state
+    #: fidelity — including its RNG streams, so a restored copy draws
+    #: the same variates (``random.Random``, ``BatchRandom``, and numpy
+    #: ``Generator`` all qualify).  Sites holding unpicklable state
+    #: (open files, sockets, lambdas) or state whose pickled copy would
+    #: diverge should set this ``False``; the sharded engine then falls
+    #: back to its in-process columnar path instead of guessing.
+    shardable: bool = True
+
     @abstractmethod
     def on_item(self, item: "Item") -> List["Message"]:
         """Observe one local arrival; return upstream messages (maybe [])."""
@@ -84,6 +95,27 @@ class SiteAlgorithm(ABC):
     @abstractmethod
     def on_control(self, message: "Message") -> None:
         """Receive a downstream control message from the coordinator."""
+
+    def snapshot_state(self):
+        """Return a cheap opaque snapshot of ALL mutable site state.
+
+        The sharded engine snapshots every site at each window boundary
+        so a mid-window coordinator broadcast can roll the suffix of
+        the window back and replay it deterministically.  The snapshot
+        must capture *everything* ``on_items`` / ``on_columns`` can
+        mutate — RNG positions included — such that
+        :meth:`restore_state` followed by the same inputs reproduces
+        the same outputs bit for bit.  Returning ``None`` (the default)
+        means "unsupported": engines then snapshot by pickling the
+        whole site, which is always correct, just slower.
+        """
+        return None
+
+    def restore_state(self, state) -> None:
+        """Rewind to a :meth:`snapshot_state` taken on this instance."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement fast state snapshots"
+        )
 
     def state_words(self) -> int:
         """Approximate persistent state size in machine words.

@@ -1,0 +1,1075 @@
+"""The sharded engine: shard-parallel site passes in worker processes.
+
+The paper's protocols are distributed by construction — sites compute
+independently and only exchange O(1)-word messages with the coordinator
+— yet every other engine runs all ``k`` sites in one interpreter.
+:class:`ShardedEngine` partitions the sites into contiguous shards, one
+worker *process* per shard, and keeps only the coordinator (plus the
+message accounting) in the parent:
+
+* each worker owns its shard's protocol sites and a compacted
+  :class:`~repro.stream.columns.ShardSliceView` of the stream columns
+  (shipped once per run, over :mod:`multiprocessing.shared_memory` when
+  available, pickled over the pipe otherwise);
+* per batch window the worker runs the same per-site grouping and
+  ``on_columns`` site pass the columnar engine would, and ships each
+  (site, batch) :class:`~repro.net.messages.MessagePack` back as flat
+  columns (:meth:`~repro.net.messages.MessagePack.to_arrays`) through a
+  per-worker shared-memory ring the parent reads zero-copy — falling
+  back to inline pickling for oversized windows or pipe transport;
+* the parent folds the packs through the **same** coordinator bulk path
+  (:meth:`~repro.runtime.interfaces.CoordinatorAlgorithm.on_message_pack`)
+  in the **same** deterministic ascending-(batch, site) order the
+  columnar engine uses, with identical counter accounting.
+
+Workers are spawned once per engine instance and *reused* across
+``run()`` calls (each run re-ships the site states and stream shard),
+so a long-lived engine amortizes process start-up away — the regime the
+"saturate all cores at 100M+ items" target actually cares about.  Call
+:meth:`ShardedEngine.close` to tear the pool down eagerly; a dropped
+engine cleans up via ``weakref.finalize``.
+
+Why this is bit-identical to the columnar engine
+------------------------------------------------
+Per-site RNG streams are derived independently
+(:class:`~repro.common.rng.RandomSource` substreams plus per-site
+``BatchRandom``), each site's per-window ident/weight slices are
+bitwise equal to the columnar engine's (stable argsort over a
+position-compacted shard — see ``ShardSliceView``), and the
+coordinator runs *in the parent*, consuming its own RNG in fold order.
+The one genuinely new piece is control flow: the columnar engine
+delivers a mid-window broadcast to the *later* sites of the same
+window before they compute, while shard workers compute a whole window
+speculatively against the control state of the previous window.  The
+engine therefore runs a **lockstep window protocol** with rollback:
+
+1. workers compute window ``t``'s packs against the control state as of
+   window ``t - 1`` and send them;
+2. the parent folds them site-ascending; when a fold emits control
+   traffic that could affect a *later* site of the same window (a
+   threshold/epoch broadcast, a saturated level), it tells the affected
+   workers to **roll back**: restore the pre-window site snapshot,
+   re-apply the window's control messages to exactly the sites that
+   come after each message's trigger site, recompute, and resend;
+3. once the window folds clean, the parent **commits**: workers apply
+   whatever control messages their sites have not seen yet and proceed
+   to window ``t + 1``.
+
+Re-computation is deterministic (same restored RNG state, same input
+slices, same control prefix), so replayed sites reproduce their packs
+bit for bit and the divergent suffix is recomputed exactly as the
+columnar engine would have computed it after the broadcast.  Broadcasts
+are logarithmically rare, so rollbacks cost a bounded number of extra
+window computations per run.  Samples **and**
+:class:`~repro.net.counters.MessageCounters` match the columnar engine
+bit for bit at every batch size and worker count —
+``benchmarks/bench_sharded.py`` pins this at the multi-million-item
+scale.
+
+Fallbacks: numpy-free installs, non-int64 ident streams, ``workers=1``
+(or one site), instrumented networks (a
+:class:`~repro.net.tracing.MessageTrace` wrapping the delivery
+methods), sites that declare themselves non-shardable
+(:attr:`~repro.runtime.interfaces.SiteAlgorithm.shardable`), and any
+worker-setup failure (spawn unavailable, unpicklable sites, no shared
+memory) all run the in-process :class:`ColumnarEngine` path instead, so
+the engine is always safe to select; ``last_run_stats`` records which
+mode ran.  Sites whose bulk hooks return *lazy* message iterators are
+materialized at the worker before shipping (the batched engine streams
+them instead); all shipped protocols return materialized lists.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import traceback
+import weakref
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Tuple
+
+try:  # the shard-parallel path is numpy-only; gated, not required
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None  # type: ignore[assignment]
+
+try:  # shared memory may be missing on exotic builds; pipes then carry all
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - platform-dependent
+    _shared_memory = None  # type: ignore[assignment]
+
+from ..common.errors import ConfigurationError, ProtocolViolationError
+from ..net.messages import MessagePack
+from .batched import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_INITIAL_BATCH_SIZE,
+    batch_windows,
+)
+from .columnar import ColumnarEngine
+from .interfaces import BROADCAST
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..net.counters import MessageCounters
+    from .network import Network
+
+__all__ = ["ShardedEngine", "ShardedWorkerError"]
+
+#: Floor for the per-worker result ring (one window's packs always fit
+#: unless the batch is enormous; oversized windows fall back to inline
+#: pickling per pack, never to failure).
+_MIN_RING_BYTES = 1 << 20
+
+#: Seconds to wait for a spawned worker's ready message before treating
+#: setup as failed (and falling back in-process).
+_READY_TIMEOUT = 120.0
+
+
+class ShardedWorkerError(RuntimeError):
+    """A shard worker died or raised; carries the original traceback.
+
+    The parent re-raises this after tearing the worker pool down
+    (processes joined or killed, shared-memory segments unlinked), so a
+    failing site never leaks orphans.
+    """
+
+    def __init__(self, message: str, worker_traceback: Optional[str] = None):
+        super().__init__(message)
+        self.worker_traceback = worker_traceback
+
+
+def _attach_shm(name: str):
+    """Attach an existing shared-memory segment.
+
+    Ownership stays with the parent (which unlinks at shutdown); the
+    resource tracker is shared across the spawn tree and de-duplicates
+    the attach-side registration, so no unregister gymnastics are
+    needed here.
+    """
+    return _shared_memory.SharedMemory(name=name)
+
+
+def _prefix_len(controls, site_id: int) -> int:
+    """Number of window controls a site must see *before* computing:
+    exactly those triggered by an earlier site's fold.  Triggers are
+    non-decreasing in fold order, so this is a prefix."""
+    n = 0
+    for trigger, _, _ in controls:
+        if trigger >= site_id:
+            break
+        n += 1
+    return n
+
+
+def _adopt_site_state(dst, src) -> None:
+    """Transplant a worker site's final state onto the parent's mirror.
+
+    After a sharded run the parent's site objects have only mirrored
+    control traffic; the workers hold the real per-site state (RNG
+    positions, ``items_seen``, resource counters).  Copying the worker
+    state back keeps facade-level introspection (``resource_report``)
+    and *subsequent* ``run()`` calls on the same network bit-compatible
+    with a columnar run.  The mirror's original shared ``config``
+    object is kept so identity relationships survive.
+    """
+    if not hasattr(dst, "__dict__") or not hasattr(src, "__dict__"):
+        return  # slots-only sites keep their (control-mirrored) state
+    config = dst.__dict__.get("config")
+    dst.__dict__.clear()
+    dst.__dict__.update(src.__dict__)
+    if config is not None and "config" in dst.__dict__:
+        dst.__dict__["config"] = config
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+
+
+def _view_from_full_shm(name, spec, site_lo, site_hi):
+    """Attach the parent's full-column segment and compact this shard's
+    rows out of it.  The compaction copies (fancy indexing), so the
+    attachment is released immediately and the worker's footprint stays
+    proportional to its shard."""
+    from ..stream.columns import ShardSliceView
+
+    shm = _attach_shm(name)
+    try:
+        cols = {
+            column: _np.frombuffer(
+                shm.buf, dtype=_np.dtype(dtype), count=count, offset=offset
+            )
+            for column, (offset, dtype, count) in spec.items()
+        }
+        view = ShardSliceView.from_columns(
+            cols["assignment"],
+            cols["weights"],
+            cols["idents"],
+            site_lo,
+            site_hi,
+        )
+    finally:
+        del cols  # drop the buffer exports before closing the mapping
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - export still alive
+            pass
+    return view
+
+
+class _WorkerShard:
+    """Worker-side state for one run: sites, stream view, ring cursor."""
+
+    def __init__(self, payload, ring, ring_bytes, stream_cache) -> None:
+        self.site_lo: int = payload["site_lo"]
+        self.site_hi: int = payload["site_hi"]
+        self.sites: List = payload["sites"]
+        stream = payload["stream"]
+        if stream[0] == "cached":
+            if stream_cache.get("token") != stream[1]:
+                raise ProtocolViolationError(
+                    "parent referenced a stream this worker has not cached"
+                )
+            self.view = stream_cache["view"]
+        else:
+            if stream[0] == "full":
+                view = _view_from_full_shm(
+                    stream[1], stream[2], self.site_lo, self.site_hi
+                )
+                token = stream[3]
+            else:  # "view": pre-compacted, pipe transport
+                view = stream[1]
+                token = stream[2]
+            stream_cache.clear()
+            stream_cache["token"] = token
+            stream_cache["view"] = view
+            self.view = view
+        self.ring = ring
+        self.ring_bytes = ring_bytes
+        self.ring_view = memoryview(ring.buf) if ring is not None else None
+        self.ring_off = 0
+        self.windows = list(
+            batch_windows(
+                payload["n"],
+                payload["batch_size"],
+                payload["initial_batch_size"],
+                payload["marks"],
+            )
+        )
+
+    def compute_window(self, lo: int, hi: int, min_site: Optional[int] = None):
+        """Run the shard's site passes for global window ``[lo, hi)``.
+
+        Mirrors the columnar engine's inner loop exactly: ascending
+        site ids, per-site slices in global arrival order, shared
+        once-per-window ``prepare_window`` context when every shard
+        site shares class and config (pack contents are invariant to
+        the sharing — sites verify the context's mask — so shard-local
+        sharing is parity-safe).
+
+        ``min_site`` restricts the pass to sites with a *larger* id —
+        the rollback suffix.  Pack contents are also invariant to the
+        shared-prep shortcut, so the suffix pass simply skips it.
+        """
+        i0, i1 = self.view.window_bounds(lo, hi)
+        if i0 == i1:
+            return []
+        site_ids, starts, ends, idents_sorted, weights_sorted = (
+            self.view.window_order(i0, i1)
+        )
+        window_prep = None
+        if min_site is None:
+            site0 = self.sites[0]
+            cls0, cfg0 = type(site0), getattr(site0, "config", None)
+            share_prep = (
+                hasattr(site0, "prepare_window")
+                and cfg0 is not None
+                and all(
+                    type(s) is cls0 and getattr(s, "config", None) is cfg0
+                    for s in self.sites
+                )
+            )
+            if share_prep:
+                window_prep = site0.prepare_window(weights_sorted)
+        self.ring_off = 0
+        out = []
+        for site_id, start, end in zip(site_ids, starts, ends):
+            if min_site is not None and site_id <= min_site:
+                continue
+            result = self.sites[site_id - self.site_lo].on_columns(
+                idents_sorted[start:end],
+                weights_sorted[start:end],
+                prep=(
+                    None if window_prep is None else (window_prep, start, end)
+                ),
+            )
+            descriptor = self._encode(site_id, result)
+            if descriptor is not None:
+                out.append(descriptor)
+        return out
+
+    def _encode(self, site_id: int, result):
+        """Serialize one site's window result for the pipe/ring.
+
+        Packs go as flat columns — into the shared-memory ring when
+        they fit (the parent rebuilds zero-copy views), inline
+        otherwise; scalar fallbacks (single-item site batches) go as
+        pickled message lists, materialized here because a lazy
+        iterator cannot cross the process boundary.
+        """
+        if isinstance(result, MessagePack):
+            if len(result) == 0:
+                return None
+            kind, columns = result.to_arrays()
+            if self.ring is not None:
+                total = sum(array.nbytes for array in columns.values())
+                if self.ring_off + total <= self.ring_bytes:
+                    spec = {}
+                    for name, array in columns.items():
+                        array = _np.ascontiguousarray(array)
+                        nbytes = array.nbytes
+                        offset = self.ring_off
+                        self.ring_view[offset : offset + nbytes] = memoryview(
+                            array
+                        ).cast("B")
+                        spec[name] = (offset, array.dtype.str, len(array))
+                        self.ring_off = offset + nbytes
+                    return (site_id, "p", kind, spec)
+            return (site_id, "q", kind, columns)
+        messages = list(result)
+        if not messages:
+            return None
+        return (site_id, "m", messages)
+
+    def close(self) -> None:
+        """Release this run's ring cursor (the cached view persists so
+        the next run over the same stream skips the compaction)."""
+        self.ring_view = None
+        self.view = None
+
+
+def _snapshot_sites(sites):
+    """Window-boundary snapshot of a shard's sites.
+
+    Prefers the sites' cheap :meth:`snapshot_state` hooks (a few
+    microseconds per site); any site without one degrades the whole
+    shard to pickling, which is always correct.
+    """
+    states = []
+    for site in sites:
+        state = site.snapshot_state()
+        if state is None:
+            return (
+                "pickle",
+                pickle.dumps(sites, protocol=pickle.HIGHEST_PROTOCOL),
+            )
+        states.append(state)
+    return ("fast", states)
+
+
+def _restore_sites(shard: "_WorkerShard", snapshot) -> None:
+    kind, data = snapshot
+    if kind == "pickle":
+        shard.sites = pickle.loads(data)
+    else:
+        for site, state in zip(shard.sites, data):
+            site.restore_state(state)
+
+
+def _worker_run(shard: _WorkerShard, conn) -> None:
+    """The lockstep window protocol, worker side, for one run.
+
+    Per window: compute speculatively against last-committed control
+    state, send, then serve ``roll`` (restore the pre-window snapshot,
+    re-apply each control message to exactly the sites after its
+    trigger, recompute, resend the suffix) until the parent ``com``mits
+    — at which point every site applies the control messages it has not
+    seen yet and the next window starts.
+    """
+    for lo, hi in shard.windows:
+        i0, i1 = shard.view.window_bounds(lo, hi)
+        # Pre-window state, captured BEFORE the compute so rollback
+        # replays from exactly this point (same RNG positions).
+        # Skipped when the shard has no arrivals (nothing mutates);
+        # controls are then applied incrementally instead.
+        snapshot = _snapshot_sites(shard.sites) if i0 != i1 else None
+        results = shard.compute_window(lo, hi)
+        applied = [0] * len(shard.sites)
+        conn.send(("res", results))
+        while True:
+            message = conn.recv()
+            tag = message[0]
+            if tag == "com":
+                controls = message[1]
+                for idx, site in enumerate(shard.sites):
+                    for _, dest, ctrl in controls[applied[idx] :]:
+                        if dest == BROADCAST or dest == shard.site_lo + idx:
+                            site.on_control(ctrl)
+                break
+            if tag == "roll":
+                from_site, controls = message[1], message[2]
+                if snapshot is None:
+                    # No arrivals this window: nothing to replay, just
+                    # advance each site's control prefix incrementally.
+                    for idx, site in enumerate(shard.sites):
+                        site_id = shard.site_lo + idx
+                        n_pre = _prefix_len(controls, site_id)
+                        for _, dest, ctrl in controls[applied[idx] : n_pre]:
+                            if dest == BROADCAST or dest == site_id:
+                                site.on_control(ctrl)
+                        applied[idx] = n_pre
+                    conn.send(("res", []))
+                    continue
+                if snapshot[0] == "fast":
+                    # Per-site snapshots are independent: rewind and
+                    # replay ONLY the invalidated suffix (sites after
+                    # the trigger); prefix sites keep their state and
+                    # their already-folded packs.  Every control's
+                    # trigger is <= from_site, so the whole list
+                    # applies to every suffix site.
+                    states = snapshot[1]
+                    for idx, site in enumerate(shard.sites):
+                        site_id = shard.site_lo + idx
+                        if site_id <= from_site:
+                            continue
+                        site.restore_state(states[idx])
+                        for _, dest, ctrl in controls:
+                            if dest == BROADCAST or dest == site_id:
+                                site.on_control(ctrl)
+                        applied[idx] = len(controls)
+                    replacements = shard.compute_window(
+                        lo, hi, min_site=from_site
+                    )
+                else:
+                    # Pickled snapshot: the site list is restored
+                    # wholesale, so the prefix must be replayed too
+                    # (deterministically identical) and its packs
+                    # dropped from the resend.
+                    _restore_sites(shard, snapshot)
+                    for idx, site in enumerate(shard.sites):
+                        site_id = shard.site_lo + idx
+                        n_pre = _prefix_len(controls, site_id)
+                        for _, dest, ctrl in controls[:n_pre]:
+                            if dest == BROADCAST or dest == site_id:
+                                site.on_control(ctrl)
+                        applied[idx] = n_pre
+                    results = shard.compute_window(lo, hi)
+                    replacements = [d for d in results if d[0] > from_site]
+                conn.send(("res", replacements))
+                continue
+            raise ProtocolViolationError(
+                f"shard worker got unexpected command {tag!r}"
+            )
+    message = conn.recv()
+    if message[0] != "fin":
+        raise ProtocolViolationError(
+            f"shard worker got unexpected command {message[0]!r} at run end"
+        )
+    conn.send(
+        (
+            "sta",
+            shard.site_lo,
+            pickle.dumps(shard.sites, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+    )
+
+
+def _worker_main(boot, conn) -> None:
+    """Process entry point: serve runs until told to go (or cut off).
+
+    The process persists across ``run()`` calls — per-run state arrives
+    with each ``run`` command — so a long-lived engine pays the spawn
+    cost once.  Failures ship the original traceback to the parent.
+    """
+    ring = None
+    try:
+        ring_spec = boot["ring"]
+        ring_bytes = 0
+        if ring_spec is not None:
+            ring = _attach_shm(ring_spec[0])
+            ring_bytes = ring_spec[1]
+        stream_cache: dict = {}
+        conn.send(("rdy",))
+        while True:
+            command = conn.recv()
+            if command[0] == "bye":
+                break
+            if command[0] != "run":
+                raise ProtocolViolationError(
+                    f"shard worker got unexpected command {command[0]!r}"
+                )
+            shard = _WorkerShard(command[1], ring, ring_bytes, stream_cache)
+            try:
+                _worker_run(shard, conn)
+            finally:
+                shard.close()
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass  # parent went away (shutdown or its own failure): just exit
+    except BaseException:
+        try:
+            conn.send(("err", traceback.format_exc()))
+        except Exception:  # pragma: no cover - pipe already closed
+            pass
+    finally:
+        if ring is not None:
+            try:
+                ring.close()
+            except BufferError:  # pragma: no cover - views die with us
+                pass
+        try:
+            conn.close()
+        except Exception:  # pragma: no cover - already closed
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Parent engine
+# ---------------------------------------------------------------------------
+
+
+class _WorkerHandle:
+    """Parent-side record of one spawned shard worker."""
+
+    __slots__ = ("index", "process", "conn", "site_lo", "site_hi", "ring")
+
+    def __init__(self, index, process, conn, ring) -> None:
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.site_lo = 0  # set per run
+        self.site_hi = 0
+        self.ring = ring
+
+
+def _unlink_segments(shms) -> None:
+    """Close and unlink owned shared-memory segments, best effort."""
+    for shm in shms:
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - live views remain
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+def _shutdown_pool(pool) -> None:
+    """Tear a worker pool down: polite bye, then force, then unlink.
+
+    Module-level (not a method) so ``weakref.finalize`` can run it
+    after the engine is gone; idempotence comes from the finalize
+    wrapper calling it at most once per pool.
+    """
+    for handle in pool["handles"]:
+        try:
+            handle.conn.send(("bye",))
+        except Exception:
+            pass
+    for handle in pool["handles"]:
+        try:
+            handle.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+    for handle in pool["handles"]:
+        process = handle.process
+        process.join(timeout=10)
+        if process.is_alive():  # pragma: no cover - stuck worker
+            process.terminate()
+            process.join(timeout=10)
+        if process.is_alive():  # pragma: no cover - unkillable
+            process.kill()
+            process.join(timeout=10)
+    stream = pool.get("stream")
+    _unlink_segments(pool["rings"] + (stream["shms"] if stream else []))
+
+
+class ShardedEngine(ColumnarEngine):
+    """Columnar data plane, shard-parallel site passes.
+
+    Parameters
+    ----------
+    batch_size / initial_batch_size:
+        The batched schedule, exactly as in
+        :class:`~repro.runtime.batched.BatchedEngine` (the schedules
+        must coincide for the bit-parity contract to be structural).
+        Larger batches amortize the per-window worker round trip.
+    workers:
+        Worker process count; defaults to ``os.cpu_count()``.  Clamped
+        to the site count; ``1`` runs the in-process columnar path.
+    transport:
+        ``"auto"`` (shared memory when available, else pipes),
+        ``"shm"``, or ``"pipe"`` — how stream shards and result columns
+        move between processes.  Pipes are the portable fallback;
+        shared memory gives the parent zero-copy column views.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        initial_batch_size: int = DEFAULT_INITIAL_BATCH_SIZE,
+        workers: Optional[int] = None,
+        transport: str = "auto",
+    ) -> None:
+        super().__init__(
+            batch_size=batch_size, initial_batch_size=initial_batch_size
+        )
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if transport not in ("auto", "shm", "pipe"):
+            raise ConfigurationError(
+                f"transport must be 'auto', 'shm', or 'pipe', got {transport!r}"
+            )
+        self.workers = int(workers)
+        self.transport = transport
+        #: Observability: how the last ``run`` executed (mode, effective
+        #: transport, window/rollback counts, warm-pool reuse).
+        self.last_run_stats: dict = {}
+        self._pool = None
+        self._finalizer = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedEngine(batch_size={self.batch_size}, "
+            f"workers={self.workers}, transport={self.transport!r})"
+        )
+
+    def close(self) -> None:
+        """Shut the persistent worker pool down (idempotent).
+
+        Runs automatically when the engine is garbage-collected or the
+        interpreter exits; call it eagerly to release the worker
+        processes and their shared-memory rings sooner.
+        """
+        if self._finalizer is not None:
+            self._finalizer()  # invokes _shutdown_pool at most once
+            self._finalizer = None
+        self._pool = None
+
+    # -- top level ------------------------------------------------------
+
+    def run(
+        self,
+        network: "Network",
+        stream,
+        on_step: Optional[Callable[[int], None]] = None,
+        checkpoints: Optional[Iterable[int]] = None,
+        on_checkpoint: Optional[Callable[[int], None]] = None,
+    ) -> "MessageCounters":
+        if checkpoints is not None:
+            # Materialize once: marks are computed here AND the
+            # fallback engine iterates again — a one-shot iterator must
+            # survive both.
+            checkpoints = list(checkpoints)
+        arrays = stream.arrays() if hasattr(stream, "arrays") else None
+        n = len(stream)
+        workers = max(1, min(self.workers, network.num_sites))
+        reason = None
+        if _np is None:
+            reason = "numpy unavailable"
+        elif arrays is None or arrays[2] is None:
+            reason = "stream has no int64 column view"
+        elif n == 0:
+            reason = "empty stream"
+        elif workers < 2:
+            reason = "single worker"
+        elif _network_instrumented(network):
+            reason = "network delivery is instrumented"
+        elif not all(
+            getattr(site, "shardable", True) for site in network.sites
+        ):
+            reason = "non-shardable site"
+        marks: List[int] = []
+        pool = None
+        if reason is None:
+            base = network.items_processed
+            if checkpoints is not None and on_checkpoint is not None:
+                marks = sorted(
+                    t - base for t in set(checkpoints) if base < t <= base + n
+                )
+            try:
+                pool, warm = self._get_pool(workers)
+                self._dispatch_run(pool, network, arrays, n, marks)
+            except Exception as exc:
+                self.close()
+                pool = None
+                reason = f"worker setup failed: {exc!r}"
+        if reason is not None:
+            self.last_run_stats = {"mode": "fallback", "reason": reason}
+            return ColumnarEngine.run(
+                self,
+                network,
+                stream,
+                on_step=on_step,
+                checkpoints=checkpoints,
+                on_checkpoint=on_checkpoint,
+            )
+        try:
+            counters = self._run_windows(
+                network, pool, n, marks, set(marks), on_step, on_checkpoint
+            )
+            self.last_run_stats["warm_pool"] = warm
+            return counters
+        except BaseException:
+            # The pool's protocol state is unknown after a failure —
+            # never reuse it.  Teardown also reaps any orphans.
+            self.close()
+            raise
+
+    # -- pool lifecycle -------------------------------------------------
+
+    def _get_pool(self, workers: int):
+        """Return (pool, was_warm): reuse the live pool when its shape
+        matches, else replace it."""
+        pool = self._pool
+        if (
+            pool is not None
+            and pool["workers"] == workers
+            and all(h.process.is_alive() for h in pool["handles"])
+        ):
+            return pool, True
+        self.close()
+        pool = self._spawn_pool(workers)
+        self._pool = pool
+        self._finalizer = weakref.finalize(self, _shutdown_pool, pool)
+        return pool, False
+
+    def _spawn_pool(self, workers: int):
+        from multiprocessing import get_context
+
+        use_shm = (
+            self.transport in ("auto", "shm") and _shared_memory is not None
+        )
+        if self.transport == "shm" and _shared_memory is None:
+            raise ConfigurationError("shared memory is unavailable")
+        ctx = get_context("spawn")
+        ring_bytes = max(_MIN_RING_BYTES, 48 * self.batch_size + 4096)
+        pool = {
+            "workers": workers,
+            "handles": [],
+            "rings": [],
+            "transport": "shm" if use_shm else "pipe",
+            "use_shm": use_shm,
+        }
+        try:
+            for index in range(workers):
+                ring = None
+                ring_spec = None
+                if use_shm:
+                    ring = _shared_memory.SharedMemory(
+                        create=True, size=ring_bytes
+                    )
+                    pool["rings"].append(ring)
+                    ring_spec = (ring.name, ring_bytes)
+                parent_conn, child_conn = ctx.Pipe()
+                process = ctx.Process(
+                    target=_worker_main,
+                    args=({"ring": ring_spec}, child_conn),
+                    daemon=True,
+                    name=f"repro-shard-{index}",
+                )
+                process.start()
+                child_conn.close()
+                pool["handles"].append(
+                    _WorkerHandle(index, process, parent_conn, ring)
+                )
+            for handle in pool["handles"]:
+                if not handle.conn.poll(_READY_TIMEOUT):
+                    raise ShardedWorkerError(
+                        f"shard worker {handle.index} not ready within "
+                        f"{_READY_TIMEOUT:.0f}s"
+                    )
+                message = self._recv(handle)
+                if message[0] != "rdy":
+                    raise ShardedWorkerError(
+                        f"shard worker {handle.index} sent {message[0]!r} "
+                        "instead of ready"
+                    )
+        except BaseException:
+            _shutdown_pool(pool)
+            raise
+        return pool
+
+    def _dispatch_run(self, pool, network, arrays, n, marks) -> None:
+        """Ship each worker its shard for this run: site states, the
+        stream columns, and the window schedule.
+
+        The stream shipment is cached on the pool: a repeat run over
+        the SAME column arrays (identity-checked via weakrefs; the
+        engine assumes stream columns are immutable, which every stream
+        in this package honors) just references the workers' cached
+        shard views — the steady state for repeated analyses over one
+        dataset.  Cold shipments move the full columns through one
+        shared segment (a single memcpy in the parent) and each worker
+        compacts its own shard out of it, in parallel.
+        """
+        from ..stream.columns import ShardSliceView
+
+        assignment, weights, idents = arrays
+        num_sites = network.num_sites
+        workers = pool["workers"]
+        cache = pool.get("stream")
+        cached = (
+            cache is not None
+            and cache["num_sites"] == num_sites
+            and all(
+                ref() is array
+                for ref, array in zip(cache["refs"], arrays)
+            )
+        )
+        if not cached:
+            token = 1 if cache is None else cache["token"] + 1
+            shms = []
+            specs = None
+            if pool["use_shm"]:
+                spec, shm = _columns_to_shm(assignment, weights, idents)
+                shms.append(shm)
+                specs = [("full",) + spec + (token,)] * workers
+            pool["stream"] = {
+                "refs": [weakref.ref(array) for array in arrays],
+                "num_sites": num_sites,
+                "token": token,
+                "shms": shms,
+            }
+            if cache is not None:
+                _unlink_segments(cache["shms"])
+        else:
+            token = cache["token"]
+            specs = [("cached", token)] * workers
+        for handle in pool["handles"]:
+            handle.site_lo, handle.site_hi = ShardSliceView.shard_range(
+                num_sites, workers, handle.index
+            )
+            if specs is not None:
+                stream_spec = specs[handle.index]
+            else:
+                # Pipe transport, cold shipment: compact in the parent.
+                stream_spec = (
+                    "view",
+                    ShardSliceView.from_columns(
+                        assignment,
+                        weights,
+                        idents,
+                        handle.site_lo,
+                        handle.site_hi,
+                    ),
+                    token,
+                )
+            payload = {
+                "site_lo": handle.site_lo,
+                "site_hi": handle.site_hi,
+                "sites": network.sites[handle.site_lo : handle.site_hi],
+                "n": n,
+                "batch_size": self.batch_size,
+                "initial_batch_size": self.initial_batch_size,
+                "marks": marks,
+                "stream": stream_spec,
+            }
+            self._send(handle, ("run", payload))
+
+
+    # -- the lockstep fold ---------------------------------------------
+
+    def _run_windows(
+        self, network, pool, n, marks, mark_set, on_step, on_checkpoint
+    ) -> "MessageCounters":
+        handles = pool["handles"]
+        windows = list(
+            batch_windows(n, self.batch_size, self.initial_batch_size, marks)
+        )
+        rollbacks = 0
+        controls_total = 0
+        for lo, hi in windows:
+            pending = {}
+            for handle in handles:
+                message = self._recv(handle)
+                for descriptor in message[1]:
+                    pending[descriptor[0]] = (handle, descriptor)
+            controls: List[Tuple[int, int, object]] = []
+            order = sorted(pending)
+            i = 0
+            while i < len(order):
+                site_id = order[i]
+                handle, descriptor = pending.pop(site_id)
+                responses = self._fold(
+                    network, site_id, self._decode(handle, descriptor)
+                )
+                if responses:
+                    controls.extend(
+                        (site_id, dest, message) for dest, message in responses
+                    )
+                    needs_roll = any(
+                        dest == BROADCAST or dest > site_id
+                        for dest, _ in responses
+                    )
+                    affected = [h for h in handles if h.site_hi - 1 > site_id]
+                    if needs_roll and affected:
+                        rollbacks += 1
+                        for h in affected:
+                            self._send(h, ("roll", site_id, controls))
+                        for stale in [s for s in pending if s > site_id]:
+                            del pending[stale]
+                        for h in affected:
+                            message = self._recv(h)
+                            for descriptor in message[1]:
+                                pending[descriptor[0]] = (h, descriptor)
+                        order = order[: i + 1] + sorted(
+                            s for s in pending if s > site_id
+                        )
+                i += 1
+            controls_total += len(controls)
+            for handle in handles:
+                self._send(handle, ("com", controls))
+            network.items_processed += hi - lo
+            t = network.items_processed
+            if on_step is not None:
+                on_step(t)
+            if hi in mark_set:
+                on_checkpoint(t)
+        for handle in handles:
+            self._send(handle, ("fin",))
+        for handle in handles:
+            message = self._recv(handle)
+            if message[0] != "sta":  # pragma: no cover - protocol bug guard
+                raise ShardedWorkerError(
+                    f"shard worker {handle.index} sent {message[0]!r} "
+                    "instead of final state"
+                )
+            for offset, final in enumerate(pickle.loads(message[2])):
+                _adopt_site_state(network.sites[message[1] + offset], final)
+        self.last_run_stats = {
+            "mode": "sharded",
+            "workers": pool["workers"],
+            "transport": pool["transport"],
+            "windows": len(windows),
+            "rollbacks": rollbacks,
+            "controls": controls_total,
+            "shm_segments": [
+                shm.name
+                for shm in pool["rings"] + pool["stream"]["shms"]
+            ],
+        }
+        return network.counters
+
+    @staticmethod
+    def _send(handle, message) -> None:
+        """Send a command to a worker, translating a dead pipe into the
+        same :class:`ShardedWorkerError` diagnostics ``_recv`` gives."""
+        try:
+            handle.conn.send(message)
+        except (BrokenPipeError, OSError) as exc:
+            raise ShardedWorkerError(
+                f"shard worker {handle.index} (sites [{handle.site_lo}, "
+                f"{handle.site_hi})) is gone "
+                f"(exitcode {handle.process.exitcode}): {exc!r}"
+            ) from None
+
+    def _recv(self, handle):
+        try:
+            message = handle.conn.recv()
+        except (EOFError, OSError) as exc:
+            raise ShardedWorkerError(
+                f"shard worker {handle.index} (sites [{handle.site_lo}, "
+                f"{handle.site_hi})) exited unexpectedly "
+                f"(exitcode {handle.process.exitcode}): {exc!r}"
+            ) from None
+        if message[0] == "err":
+            raise ShardedWorkerError(
+                f"shard worker {handle.index} (sites [{handle.site_lo}, "
+                f"{handle.site_hi})) failed; original traceback:\n"
+                f"{message[1]}",
+                worker_traceback=message[1],
+            )
+        return message
+
+    def _decode(self, handle, descriptor):
+        tag = descriptor[1]
+        if tag == "m":
+            return descriptor[2]
+        if tag == "q":
+            return MessagePack.from_arrays(descriptor[2], descriptor[3])
+        columns = {
+            name: _np.frombuffer(
+                handle.ring.buf,
+                dtype=_np.dtype(dtype),
+                count=count,
+                offset=offset,
+            )
+            for name, (offset, dtype, count) in descriptor[3].items()
+        }
+        return MessagePack.from_arrays(descriptor[2], columns)
+
+    @staticmethod
+    def _fold(network, site_id: int, payload):
+        """Deliver one site's window output to the coordinator, exactly
+        as :meth:`Network.deliver_pack` / ``deliver_upstream`` would
+        (same counter calls, same response fan-out), but returning the
+        coordinator's responses so the window loop can see broadcasts.
+        Only called on uninstrumented networks (checked at ``run``
+        start), where this *is* the delivery path, verbatim.
+        """
+        counters = network.counters
+        coordinator = network.coordinator
+        if isinstance(payload, MessagePack):
+            if len(payload) == 0:  # pragma: no cover - filtered at encode
+                return []
+            counters.record_upstream_pack(payload)
+            responses = coordinator.on_message_pack(site_id, payload)
+            for dest, response in responses:
+                network.deliver_downstream(dest, response)
+            return responses
+        out = []
+        for message in payload:
+            counters.record_upstream(message)
+            responses = coordinator.on_message(site_id, message)
+            for dest, response in responses:
+                network.deliver_downstream(dest, response)
+            out.extend(responses)
+        return out
+
+
+def _columns_to_shm(assignment, weights, idents):
+    """Copy the full stream columns into one shared-memory segment
+    (a single parent-side memcpy, attached by every worker); returns
+    ``((name, column_spec), segment)``."""
+    columns = {
+        "assignment": assignment,
+        "weights": weights,
+        "idents": idents,
+    }
+    total = sum(array.nbytes for array in columns.values())
+    shm = _shared_memory.SharedMemory(create=True, size=max(1, total))
+    target = memoryview(shm.buf)
+    spec = {}
+    offset = 0
+    for name, array in columns.items():
+        array = _np.ascontiguousarray(array)
+        nbytes = array.nbytes
+        target[offset : offset + nbytes] = memoryview(array).cast("B")
+        spec[name] = (offset, array.dtype.str, len(array))
+        offset += nbytes
+    return (shm.name, spec), shm
+
+
+def _network_instrumented(network) -> bool:
+    """Mirror :meth:`Network.deliver_pack`'s tracing check: wrapped or
+    overridden delivery methods mean an observer wants to see every
+    message in causal order — the sharded fold would bypass it, so the
+    engine falls back to the in-process columnar path instead."""
+    from .network import (
+        _BASE_DELIVER_DOWNSTREAM,
+        _BASE_DELIVER_UPSTREAM,
+        Network,
+    )
+
+    cls = type(network)
+    return (
+        "deliver_upstream" in network.__dict__
+        or "deliver_downstream" in network.__dict__
+        or "deliver_pack" in network.__dict__
+        or cls.deliver_upstream is not _BASE_DELIVER_UPSTREAM
+        or cls.deliver_downstream is not _BASE_DELIVER_DOWNSTREAM
+        or cls.deliver_pack is not Network.deliver_pack
+    )

@@ -45,7 +45,12 @@ except ImportError:  # pragma: no cover - exercised on numpy-free installs
 from ..common.errors import ConfigurationError
 from .item import DistributedStream, Item
 
-__all__ = ["ColumnarStream", "ItemColumnView", "columnar_zipf_stream"]
+__all__ = [
+    "ColumnarStream",
+    "ItemColumnView",
+    "ShardSliceView",
+    "columnar_zipf_stream",
+]
 
 #: Default generation chunk: 64k arrivals (~1.5 MB of column data).
 DEFAULT_CHUNK_SIZE = 65536
@@ -89,6 +94,119 @@ class ItemColumnView(Sequence):
         idents = self._idents
         weights = self._weights
         return (Item(int(idents[i]), float(weights[i])) for i in range(len(idents)))
+
+
+class ShardSliceView:
+    """One contiguous site shard's rows of a columnar stream, compacted.
+
+    The multiprocess sharded engine partitions sites into contiguous
+    ranges ``[site_lo, site_hi)`` and hands each worker process only its
+    shard's arrivals.  A ``ShardSliceView`` holds those rows as four
+    parallel columns — ``positions`` (the rows' global arrival indices,
+    strictly increasing), ``sites``, ``weights``, and ``idents`` — so a
+    worker can answer the two questions the engine's window loop asks
+    without ever touching the full stream:
+
+    * :meth:`window_bounds` — which shard rows fall in the global
+      window ``[lo, hi)`` (one ``searchsorted`` against ``positions``);
+    * :meth:`window_order` — the window's shard rows grouped per site
+      with each site's arrivals in **global** order, via the same
+      stable argsort as :func:`repro.runtime.batched.window_order`.
+
+    Because ``positions`` is increasing and the argsort is stable, each
+    site's per-window ident/weight slices are *bitwise identical* to
+    the slices :class:`~repro.runtime.columnar.ColumnarEngine` would
+    hand that site — which is what makes shard-parallel site passes
+    reproducible down to the RNG draw.  Requires numpy.
+    """
+
+    __slots__ = ("positions", "sites", "weights", "idents", "site_lo", "site_hi")
+
+    def __init__(self, positions, sites, weights, idents, site_lo, site_hi):
+        _require_numpy()
+        if not site_lo <= site_hi:
+            raise ConfigurationError(
+                f"invalid shard range [{site_lo}, {site_hi})"
+            )
+        self.positions = _np.ascontiguousarray(positions, dtype=_np.int64)
+        self.sites = _np.ascontiguousarray(sites, dtype=_np.int64)
+        self.weights = _np.ascontiguousarray(weights, dtype=_np.float64)
+        self.idents = _np.ascontiguousarray(idents, dtype=_np.int64)
+        if not (
+            len(self.positions)
+            == len(self.sites)
+            == len(self.weights)
+            == len(self.idents)
+        ):
+            raise ConfigurationError("shard column lengths disagree")
+        self.site_lo = int(site_lo)
+        self.site_hi = int(site_hi)
+
+    @staticmethod
+    def shard_range(num_sites: int, num_shards: int, index: int) -> Tuple[int, int]:
+        """Contiguous site range ``[lo, hi)`` of shard ``index`` — the
+        single partition formula, shared by
+        :meth:`ColumnarStream.shard_views` and the sharded engine's
+        worker dispatch (so the two can never drift apart)."""
+        return (
+            index * num_sites // num_shards,
+            (index + 1) * num_sites // num_shards,
+        )
+
+    @classmethod
+    def from_columns(cls, assignment, weights, idents, site_lo, site_hi):
+        """Compact the rows of sites ``[site_lo, site_hi)`` out of full
+        stream columns (``assignment`` / ``weights`` / ``idents`` in
+        global arrival order, as from ``stream.arrays()``)."""
+        _require_numpy()
+        assignment = _np.asarray(assignment)
+        mask = (assignment >= site_lo) & (assignment < site_hi)
+        positions = _np.flatnonzero(mask)
+        return cls(
+            positions,
+            assignment[positions],
+            _np.asarray(weights)[positions],
+            _np.asarray(idents)[positions],
+            site_lo,
+            site_hi,
+        )
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    def window_bounds(self, lo: int, hi: int) -> Tuple[int, int]:
+        """Shard-row bracket ``[i0, i1)`` of global window ``[lo, hi)``."""
+        i0, i1 = _np.searchsorted(self.positions, (lo, hi), side="left")
+        return int(i0), int(i1)
+
+    def window_order(self, i0: int, i1: int):
+        """Per-site grouping of shard rows ``[i0, i1)``.
+
+        Returns ``(site_ids, run_starts, run_ends, idents_sorted,
+        weights_sorted)`` where ``[run_starts[j], run_ends[j])``
+        brackets site ``site_ids[j]``'s slice of the two sorted columns
+        — ascending site ids, each site's arrivals in global order
+        (the exact slices the columnar engine would gather).
+        """
+        from ..runtime.batched import window_order
+
+        order, sites_sorted, run_starts, run_ends = window_order(
+            self.sites[i0:i1]
+        )
+        gather = order + i0
+        return (
+            sites_sorted[run_starts].tolist(),
+            run_starts.tolist(),
+            run_ends.tolist(),
+            self.idents[gather],
+            self.weights[gather],
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardSliceView(sites=[{self.site_lo}, {self.site_hi}), "
+            f"rows={len(self)})"
+        )
 
 
 class ColumnarStream:
@@ -254,6 +372,26 @@ class ColumnarStream:
         for lo in range(0, len(self), batch_size):
             hi = min(lo + batch_size, len(self))
             yield self.sites[lo:hi].tolist(), items[lo:hi]
+
+    def shard_views(self, num_shards: int) -> List[ShardSliceView]:
+        """Partition the sites into ``num_shards`` contiguous ranges and
+        return one compacted :class:`ShardSliceView` per shard (the
+        worker-process view of the multiprocess sharded engine)."""
+        if not 1 <= num_shards <= self.num_sites:
+            raise ConfigurationError(
+                f"num_shards must be in 1..{self.num_sites}, got {num_shards}"
+            )
+        views = []
+        for i in range(num_shards):
+            site_lo, site_hi = ShardSliceView.shard_range(
+                self.num_sites, num_shards, i
+            )
+            views.append(
+                ShardSliceView.from_columns(
+                    self.sites, self.weights, self.idents, site_lo, site_hi
+                )
+            )
+        return views
 
     def local_streams(self) -> List[List[Item]]:
         """Items per site, each in arrival order (materializes Items)."""

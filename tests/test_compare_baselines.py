@@ -1,0 +1,134 @@
+"""The benchmark baseline comparator: ``--only`` guard and comparisons."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "compare_baselines",
+    os.path.join(
+        os.path.dirname(__file__), "..", "benchmarks", "compare_baselines.py"
+    ),
+)
+compare_baselines = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(compare_baselines)
+
+
+class TestOnlyGuard:
+    def test_unknown_only_name_fails_loudly(self, capsys):
+        # A typo'd --only must not silently compare nothing and pass.
+        code = compare_baselines.main(["--only", "BENCH_typo.json"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "BENCH_typo.json" in err
+        assert "known:" in err
+        assert "BENCH_sharded.json" in err  # the error lists valid names
+
+    def test_known_only_name_restricts_comparison(self, tmp_path, capsys):
+        baseline = {
+            "items": 1,
+            "sites": 1,
+            "sample_size": 1,
+            "workers": 2,
+            "batch_size": 64,
+            "speedup": 1.0,
+            "sharded_items_per_sec": 100,
+        }
+        fresh = dict(baseline, speedup=1.2)
+        base_dir = tmp_path / "baselines"
+        fresh_dir = tmp_path / "fresh"
+        base_dir.mkdir()
+        fresh_dir.mkdir()
+        (base_dir / "BENCH_sharded.json").write_text(json.dumps(baseline))
+        (fresh_dir / "BENCH_sharded.json").write_text(json.dumps(fresh))
+        code = compare_baselines.main(
+            [
+                "--baseline-dir",
+                str(base_dir),
+                "--fresh-dir",
+                str(fresh_dir),
+                "--only",
+                "BENCH_sharded.json",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # Only the selected baseline was compared.
+        assert "all 1 benchmark baselines within tolerance" in out
+
+    def test_regression_detected(self, tmp_path, capsys):
+        baseline = {
+            "items": 1,
+            "sites": 1,
+            "sample_size": 1,
+            "workers": 2,
+            "batch_size": 64,
+            "speedup": 2.0,
+            "sharded_items_per_sec": 100,
+        }
+        fresh = dict(baseline, speedup=1.0)  # 50% drop > 20% tolerance
+        base_dir = tmp_path / "baselines"
+        fresh_dir = tmp_path / "fresh"
+        base_dir.mkdir()
+        fresh_dir.mkdir()
+        (base_dir / "BENCH_sharded.json").write_text(json.dumps(baseline))
+        (fresh_dir / "BENCH_sharded.json").write_text(json.dumps(fresh))
+        code = compare_baselines.main(
+            [
+                "--baseline-dir",
+                str(base_dir),
+                "--fresh-dir",
+                str(fresh_dir),
+                "--only",
+                "BENCH_sharded.json",
+            ]
+        )
+        assert code == 1
+        assert "regressed" in capsys.readouterr().err
+
+    def test_config_mismatch_fails(self, tmp_path, capsys):
+        baseline = {
+            "items": 1,
+            "sites": 1,
+            "sample_size": 1,
+            "workers": 2,
+            "batch_size": 64,
+            "speedup": 1.0,
+            "sharded_items_per_sec": 100,
+        }
+        fresh = dict(baseline, workers=4)
+        base_dir = tmp_path / "baselines"
+        fresh_dir = tmp_path / "fresh"
+        base_dir.mkdir()
+        fresh_dir.mkdir()
+        (base_dir / "BENCH_sharded.json").write_text(json.dumps(baseline))
+        (fresh_dir / "BENCH_sharded.json").write_text(json.dumps(fresh))
+        code = compare_baselines.main(
+            [
+                "--baseline-dir",
+                str(base_dir),
+                "--fresh-dir",
+                str(fresh_dir),
+                "--only",
+                "BENCH_sharded.json",
+            ]
+        )
+        assert code == 1
+        assert "config mismatch" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("name", sorted(compare_baselines.BASELINES))
+    def test_committed_baselines_have_all_gated_keys(self, name):
+        # Every committed baseline file must carry its config and ratio
+        # keys, or the CI comparison would KeyError instead of gate.
+        path = os.path.join(
+            os.path.dirname(__file__), "..", "benchmarks", "baselines", name
+        )
+        with open(path) as fh:
+            data = json.load(fh)
+        spec = compare_baselines.BASELINES[name]
+        for key in spec["config"] + spec["ratios"] + spec["absolute"]:
+            assert key in data, f"{name} baseline missing {key!r}"
