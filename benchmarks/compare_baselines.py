@@ -21,6 +21,11 @@ Usage::
         --baseline-dir benchmarks/baselines --fresh-dir . \
         [--max-regression 0.20] [--absolute]
 
+Pass ``--update`` to copy the fresh JSONs over the committed baselines
+instead of comparing (refused when a fresh result failed its parity
+checks or ran in fallback mode — a broken run must never become the
+recorded trajectory).
+
 Fresh files must use the same names as the baselines
 (``BENCH_engines.json`` etc.); the script verifies the workload
 configuration (items/sites/...) matches before comparing, so a
@@ -68,17 +73,43 @@ BASELINES: Dict[str, Dict[str, List[str]]] = {
         ],
         "absolute": ["swr_columnar_items_per_sec"],
     },
-    # The speedup here is the multiprocess gain over the single-process
-    # columnar engine at the SAME batch size — meaningful only when the
-    # recording machine had >= workers cores (the JSON's "cpu_count"
-    # says; the in-bench REPRO_BENCH_SHARD_MIN_SPEEDUP gate enforces
-    # the real 2.5x floor on multicore runners).
+    # The speedups here are the multiprocess gain over the single-
+    # process columnar engine at the SAME batch size — "speedup" is the
+    # pipelined mode, "lockstep_speedup" the strict-lockstep floor —
+    # meaningful only when the recording machine had >= workers cores
+    # (the JSON's "cpu_count" says; the in-bench
+    # REPRO_BENCH_SHARD_MIN_SPEEDUP / _PIPELINED gates enforce the real
+    # 2.5x / 3.2x floors on multicore runners).
     "BENCH_sharded.json": {
         "config": ["items", "sites", "sample_size", "workers", "batch_size"],
-        "ratios": ["speedup"],
+        "ratios": ["speedup", "lockstep_speedup"],
         "absolute": ["sharded_items_per_sec"],
     },
 }
+
+
+def update_guard(name: str, fresh: dict) -> List[str]:
+    """Why a fresh result must NOT become the committed baseline.
+
+    A baseline records the perf trajectory of the *real* engine paths:
+    a run whose parity checks failed or that fell back in-process would
+    freeze a broken or meaningless number into the repository, and the
+    next healthy run would then "regress" against it.  Refuse loudly.
+    """
+    problems = []
+    for key, value in sorted(fresh.items()):
+        if key.endswith("_identical") and value is not True:
+            problems.append(
+                f"{name}: refusing --update, parity check {key!r} is "
+                f"{value!r} in the fresh result"
+            )
+    for key, value in sorted(fresh.items()):
+        if key.endswith("mode") and value == "fallback":
+            problems.append(
+                f"{name}: refusing --update, {key!r} is 'fallback' — the "
+                "fresh run never exercised the engine path it would pin"
+            )
+    return problems
 
 
 def compare_file(
@@ -145,6 +176,13 @@ def main(argv=None) -> int:
         "the nightly job records baselines only for the benchmarks it "
         "runs at full scale)",
     )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="instead of comparing, copy the fresh JSONs over the "
+        "committed baselines — refused for any fresh result whose "
+        "parity checks failed or that ran in fallback mode",
+    )
     args = parser.parse_args(argv)
 
     names = sorted(BASELINES)
@@ -160,6 +198,37 @@ def main(argv=None) -> int:
             )
             return 2
         names = sorted(args.only)
+
+    if args.update:
+        failures = []
+        updated = 0
+        for name in names:
+            fresh_path = os.path.join(args.fresh_dir, name)
+            if not os.path.exists(fresh_path):
+                failures.append(
+                    f"missing fresh result {fresh_path} — run the benchmark "
+                    f"with REPRO_BENCH_*_JSON={name} before --update"
+                )
+                continue
+            with open(fresh_path) as fh:
+                fresh = json.load(fh)
+            problems = update_guard(name, fresh)
+            if problems:
+                failures.extend(problems)
+                continue
+            baseline_path = os.path.join(args.baseline_dir, name)
+            with open(baseline_path, "w") as fh:
+                json.dump(fresh, fh, indent=2)
+                fh.write("\n")
+            print(f"  {name}: baseline updated from {fresh_path}")
+            updated += 1
+        if failures:
+            print("\nbaseline update FAILED:", file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        print(f"\nupdated {updated} benchmark baselines")
+        return 0
 
     failures: List[str] = []
     compared = 0

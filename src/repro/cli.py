@@ -16,8 +16,9 @@ catalog of estimation queries concurrently over one shared stream pass
 (see :mod:`repro.query`).
 
 Every subcommand accepts ``--engine {reference,batched,columnar,sharded}``
-(``--batch-size N`` for the batching engines, ``--workers N`` for the
-sharded engine) to pick the execution runtime; see :mod:`repro.runtime`.
+(``--batch-size N`` for the batching engines, ``--workers N`` and
+``--pipeline {auto,on,off}`` for the sharded engine) to pick the
+execution runtime; see :mod:`repro.runtime`.
 Every protocol has a native columnar fast path, so ``--engine columnar``
 is bit-identical to ``batched`` on each subcommand, just faster —
 and ``--engine sharded`` runs the site passes across worker processes,
@@ -112,10 +113,20 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: all CPU cores)",
         )
         p.add_argument(
+            "--pipeline",
+            choices=("auto", "on", "off"),
+            default=None,
+            help="pipelined window protocol for --engine sharded: "
+            "speculative windows + double-buffered rings + arrival-order "
+            "folds (auto/on) or strict lockstep (off); default: auto",
+        )
+        p.add_argument(
             "--profile",
             action="store_true",
             help="profile the run with cProfile and dump the top 20 "
-            "functions by cumulative time to stderr",
+            "functions by cumulative time to stderr (plus the sharded "
+            "engine's window/speculation/timing breakdown when --engine "
+            "sharded ran)",
         )
 
     def common(p: argparse.ArgumentParser) -> None:
@@ -189,14 +200,22 @@ def _check_engine_flags(args: argparse.Namespace) -> None:
         )
     if args.workers is not None and args.engine != "sharded":
         raise SystemExit("--workers requires --engine sharded")
+    if args.pipeline is not None and args.engine != "sharded":
+        raise SystemExit("--pipeline requires --engine sharded")
 
 
 def _engine_of(args: argparse.Namespace):
-    """Resolve the subcommand's engine selection."""
+    """Resolve the subcommand's engine selection (stashed on ``args``
+    so ``--profile`` can print the engine's run stats afterwards)."""
     _check_engine_flags(args)
-    return get_engine(
-        args.engine, batch_size=args.batch_size, workers=args.workers
+    engine = get_engine(
+        args.engine,
+        batch_size=args.batch_size,
+        workers=args.workers,
+        pipeline=args.pipeline,
     )
+    args._engine = engine
+    return engine
 
 
 def _resolve_seed(args: argparse.Namespace) -> None:
@@ -330,11 +349,11 @@ def _cmd_query(args: argparse.Namespace) -> str:
     )
 
     _check_engine_flags(args)
-    if args.workers is not None:
+    if args.workers is not None or args.pipeline is not None:
         raise SystemExit(
             "repro query runs its fused multi-query pass in-process; "
-            "--workers does not apply (engine 'sharded' selects the "
-            "columnar data plane)"
+            "--workers/--pipeline do not apply (engine 'sharded' selects "
+            "the columnar data plane)"
         )
     rng = random.Random(args.seed)
     items = zipf_stream(args.items, rng, alpha=args.alpha)
@@ -461,6 +480,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         profiler.disable()
         stats = pstats.Stats(profiler, stream=sys.stderr)
         stats.sort_stats("cumulative").print_stats(20)
+        engine = getattr(args, "_engine", None)
+        if hasattr(engine, "format_stats"):
+            print(engine.format_stats(), file=sys.stderr)
     else:
         output = command(args)
     print(output)

@@ -53,6 +53,13 @@ class EpochTracker:
         new_epoch = self._epoch_of(u, self.r)
         return new_epoch is not None and new_epoch != self._epoch
 
+    def snapshot_state(self):
+        """Rewind point for the pipelined sharded engine."""
+        return (self._epoch, self.broadcasts)
+
+    def restore_state(self, state) -> None:
+        self._epoch, self.broadcasts = state
+
     def observe_threshold(self, u: float) -> Optional[float]:
         """Update with the new threshold; return ``r^j`` if the epoch
         changed (the value to broadcast), else ``None``."""

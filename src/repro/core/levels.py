@@ -169,6 +169,25 @@ class LevelSetManager:
         self._pending.setdefault(level, []).extend(entries)
         self.early_items_received += len(entries)
 
+    def snapshot_state(self):
+        """Cheap rewind point: bucket entries are immutable tuples, so
+        shallow per-bucket copies suffice.  Bucket *insertion order* is
+        part of the state (``pending_entries`` concatenates in dict
+        order), so the dict is copied as-is."""
+        return (
+            {level: list(bucket) for level, bucket in self._pending.items()},
+            set(self._saturated),
+            self.early_items_received,
+            self.levels_saturated,
+        )
+
+    def restore_state(self, state) -> None:
+        pending, saturated, received, saturated_count = state
+        self._pending = {level: list(bucket) for level, bucket in pending.items()}
+        self._saturated = set(saturated)
+        self.early_items_received = received
+        self.levels_saturated = saturated_count
+
     def pending_entries(self) -> List[Tuple[Item, float]]:
         """All withheld ``(item, key)`` pairs across unsaturated levels.
 

@@ -53,6 +53,10 @@ class TopKeySample:
         self._heap: List[Tuple[float, int, Item]] = []
         self._counter = 0  # tiebreak so equal keys stay heap-comparable
         self._sorted: Optional[List[Tuple[Item, float]]] = None
+        #: How often :meth:`merge_columns` hit an ambiguous selection
+        #: tie and replayed sequentially (observability for the
+        #: order-invariance guards of the pipelined sharded engine).
+        self.tie_fallbacks = 0
 
     def add(self, item: Item, key: float) -> Optional[Item]:
         """Insert ``(item, key)``; evict and return the displaced item.
@@ -83,15 +87,33 @@ class TopKeySample:
         mutating, so callers (the coordinator's pack path) can decide
         whether the merge crosses an epoch boundary before committing.
         """
-        total = len(self._heap) + len(keys)
+        return self.merge_preview(keys)[0]
+
+    def merge_preview(self, keys) -> Tuple[float, bool]:
+        """``(threshold, ambiguous)``: what :meth:`merge_columns` with
+        these candidate ``keys`` would leave behind, and whether it
+        would land on the ambiguous-tie sequential fallback (whose
+        result depends on candidate *order*).  Pure — the pipelined
+        sharded engine uses the ``ambiguous`` bit to decline an
+        out-of-order fold that would not be order-invariant.
+        """
+        n = len(keys)
+        total = len(self._heap) + n
         if total < self.sample_size:
-            return 0.0
+            return 0.0, False
         old = _np.fromiter(
             (e[0] for e in self._heap), dtype=_np.float64, count=len(self._heap)
         )
         merged = _np.concatenate([old, _np.asarray(keys, dtype=_np.float64)])
         cut_index = total - self.sample_size
-        return float(_np.partition(merged, cut_index)[cut_index])
+        cut = float(_np.partition(merged, cut_index)[cut_index])
+        # The n <= free insertion path never selects a boundary, so a
+        # tie is only ambiguous when merge_columns would partition.
+        ambiguous = (
+            n > self.sample_size - len(self._heap)
+            and int((merged == cut).sum()) != 1
+        )
+        return cut, ambiguous
 
     def merge_columns(self, idents, weights, keys) -> int:
         """Fold a batch of candidate columns into ``S`` in one rebuild.
@@ -134,6 +156,7 @@ class TopKeySample:
         cut = float(_np.partition(merged, cut_index)[cut_index])
         if int((merged == cut).sum()) != 1:
             # Ambiguous boundary — replay the exact per-item semantics.
+            self.tie_fallbacks += 1
             kept = 0
             for i in range(n):
                 key = float(cand[i])
@@ -156,6 +179,20 @@ class TopKeySample:
         self._heap = new_heap
         self._sorted = None
         return len(kept_idx)
+
+    # -- snapshots (pipelined sharded engine) --------------------------
+
+    def snapshot_state(self):
+        """Cheap rewind point: heap entries are immutable tuples, so a
+        shallow list copy suffices."""
+        return (list(self._heap), self._counter, self.tie_fallbacks)
+
+    def restore_state(self, state) -> None:
+        heap, counter, tie_fallbacks = state
+        self._heap = list(heap)
+        self._counter = counter
+        self.tie_fallbacks = tie_fallbacks
+        self._sorted = None
 
     # -- queries -------------------------------------------------------
 

@@ -161,6 +161,31 @@ class MessageCounters:
         """Total messages in both directions — the paper's metric."""
         return self.upstream + self.downstream
 
+    def snapshot_state(self):
+        """An opaque rewind point for the pipelined sharded engine.
+
+        The engine counts packs as it folds them out of order; when a
+        mid-window response forces an exact ordered refold, the
+        counters rewind with the coordinator so the replay re-records
+        everything exactly once.
+        """
+        return (
+            self.upstream,
+            self.downstream,
+            Counter(self.by_kind),
+            self.words,
+            self.max_message_words,
+        )
+
+    def restore_state(self, state) -> None:
+        """Rewind to a :meth:`snapshot_state` taken on this instance."""
+        upstream, downstream, by_kind, words, max_words = state
+        self.upstream = upstream
+        self.downstream = downstream
+        self.by_kind = Counter(by_kind)
+        self.words = words
+        self.max_message_words = max_words
+
     def snapshot(self) -> Dict[str, int]:
         """A plain-dict summary for experiment tables."""
         out = {

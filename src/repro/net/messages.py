@@ -232,6 +232,56 @@ class MessagePack:
                 columns[name] = value
         return self.regular_kind, columns
 
+    def write_into(self, view, offset: int, limit: int):
+        """Serialize the wire columns into a writable buffer slot.
+
+        Copies each :meth:`to_arrays` column into ``view`` starting at
+        ``offset`` and returns ``(regular_kind, spec, end)`` where
+        ``spec`` maps column name to ``(offset, dtype_str, count)`` —
+        the descriptor :meth:`read_from` rebuilds from.  Returns
+        ``None`` when the columns do not fit before ``limit`` (the
+        caller then falls back to inline transport).  This is the
+        sharded engine's shared-memory ring format: with the
+        double-buffered pipelined transport each (worker, window) owns
+        the ``[offset, limit)`` slot exclusively until the window
+        commits, so a writer never races the parent's zero-copy reads
+        of the previous slot.
+        """
+        import numpy as _np
+
+        _, columns = self.to_arrays()
+        total = sum(array.nbytes for array in columns.values())
+        if offset + total > limit:
+            return None
+        spec = {}
+        for name, array in columns.items():
+            array = _np.ascontiguousarray(array)
+            nbytes = array.nbytes
+            view[offset : offset + nbytes] = memoryview(array).cast("B")
+            spec[name] = (offset, array.dtype.str, len(array))
+            offset += nbytes
+        return self.regular_kind, spec, offset
+
+    @classmethod
+    def read_from(
+        cls, buf, regular_kind: str, spec: Dict[str, Tuple[int, str, int]]
+    ) -> "MessagePack":
+        """Rebuild a pack from a :meth:`write_into` descriptor.
+
+        The returned pack's columns are zero-copy views over ``buf``
+        (wire dtypes match, so :meth:`from_arrays` does not copy);
+        callers must consume the pack before the slot is rewritten.
+        """
+        import numpy as _np
+
+        columns = {
+            name: _np.frombuffer(
+                buf, dtype=_np.dtype(dtype), count=count, offset=offset
+            )
+            for name, (offset, dtype, count) in spec.items()
+        }
+        return cls.from_arrays(regular_kind, columns)
+
     @classmethod
     def from_arrays(
         cls, regular_kind: str, columns: Dict[str, object]

@@ -64,6 +64,7 @@ def get_engine(
     spec: Union[str, Engine, None] = None,
     batch_size: Optional[int] = None,
     workers: Optional[int] = None,
+    pipeline: Optional[str] = None,
 ) -> Engine:
     """Resolve an engine from a name, an instance, or ``None``.
 
@@ -79,6 +80,10 @@ def get_engine(
     workers:
         Worker process count for the sharded engine (defaults to all
         CPU cores); rejected for engines that do not shard.
+    pipeline:
+        ``"auto"`` / ``"on"`` / ``"off"`` — the sharded engine's
+        pipelined window protocol; rejected for engines that do not
+        shard.
     """
     if isinstance(spec, Engine):
         if batch_size is not None:
@@ -88,6 +93,10 @@ def get_engine(
         if workers is not None:
             raise ConfigurationError(
                 "workers cannot be combined with an engine instance"
+            )
+        if pipeline is not None:
+            raise ConfigurationError(
+                "pipeline cannot be combined with an engine instance"
             )
         return spec
     name = "reference" if spec is None else str(spec)
@@ -108,4 +117,10 @@ def get_engine(
                 f"engine {name!r} does not take workers"
             )
         kwargs["workers"] = workers
+    if pipeline is not None:
+        if not issubclass(cls, ShardedEngine):
+            raise ConfigurationError(
+                f"engine {name!r} does not take a pipeline mode"
+            )
+        kwargs["pipeline"] = pipeline
     return cls(**kwargs)

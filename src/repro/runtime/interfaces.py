@@ -158,6 +158,48 @@ class CoordinatorAlgorithm(ABC):
             responses.extend(self.on_message(site_id, message))
         return responses
 
+    def on_message_pack_unordered(self, site_id: int, pack: "MessagePack") -> bool:
+        """Try to fold a pack *out of (batch, site) order*; return
+        whether it was committed.
+
+        The pipelined sharded engine folds each window's packs in
+        arrival order when that is provably equivalent to the fixed
+        ascending-site order every other engine uses.  A coordinator
+        may commit a pack here only when the commit is (a) free of
+        responses and (b) invariant to its position within the current
+        fold window — for the SWOR coordinator that means regular-only
+        packs whose merge neither crosses an epoch bracket nor lands on
+        an ambiguous selection tie (see
+        :meth:`repro.core.coordinator.SworCoordinator.on_message_pack_unordered`).
+        Returning ``False`` (this default) declines: the engine keeps
+        the pack for the exact ordered fold.
+
+        Callers must account the pack (``record_upstream_pack``) iff
+        this returns ``True``, and must be prepared to rewind via
+        :meth:`snapshot_state`/:meth:`restore_state` if a later ordered
+        fold of the same window emits responses.
+        """
+        return False
+
+    def snapshot_state(self):
+        """Return a cheap opaque snapshot of ALL mutable coordinator
+        state, or ``None`` (the default) for "unsupported".
+
+        The pipelined sharded engine snapshots the coordinator at each
+        window boundary so out-of-order pack folds
+        (:meth:`on_message_pack_unordered`) can be rolled back and
+        replayed in exact order when a response fires mid-window.
+        Coordinators that return ``None`` simply run with ordered folds
+        only — still correct, just without the overlap.
+        """
+        return None
+
+    def restore_state(self, state) -> None:
+        """Rewind to a :meth:`snapshot_state` taken on this instance."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement fast state snapshots"
+        )
+
     def state_words(self) -> int:
         """Approximate persistent state size in machine words."""
         return 0

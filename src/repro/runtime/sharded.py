@@ -66,6 +66,53 @@ bit for bit at every batch size and worker count —
 ``benchmarks/bench_sharded.py`` pins this at the multi-million-item
 scale.
 
+Beyond lockstep: the pipelined mode
+-----------------------------------
+Strict lockstep leaves every worker idle while the parent folds and
+the parent idle while workers compute.  With ``pipeline="on"`` (the
+``"auto"`` default) the same window protocol runs *pipelined*, three
+mechanisms deep, all bit-parity-preserving:
+
+1. **Speculative windows** — after shipping window ``t``'s packs a
+   worker immediately snapshots and computes window ``t + 1`` under the
+   assumption that window ``t`` folds without a broadcast.  The commit
+   message carries the window's control list; the worker answers with
+   an explicit ``ack`` verdict: *hit* (no control touched this shard —
+   the speculative packs already sitting in the parent's inbox are
+   final) or *miss* (the speculation is discarded by restoring its
+   pre-window snapshot, controls are applied, and ``t + 1`` is
+   recomputed).  Rolls discard the speculation the same way and block
+   re-speculation until commit, preserving the fast-roll invariant
+   that prefix sites keep their state.  Pipe FIFO ordering makes the
+   verdict unambiguous: on a hit the final ``res(t+1)`` preceded the
+   ack; on a miss it follows it.
+2. **Double-buffered rings** — each per-worker shared-memory ring is
+   split into two slots; window ``t`` encodes into slot ``t % 2``
+   (:meth:`~repro.net.messages.MessagePack.write_into`), so a worker
+   writes ``t + 1`` (and, after commit of ``t``, ``t + 2``) while the
+   parent still holds zero-copy views into ``t``'s slot.  A slot is
+   rewritten only for data the parent has already consumed (folded
+   prefixes) or discarded (rolled/missed speculation).
+3. **Async coordinator folds** — within a window the parent folds
+   packs in *arrival* order when the coordinator proves the fold
+   order-invariant
+   (:meth:`~repro.runtime.interfaces.CoordinatorAlgorithm.on_message_pack_unordered`:
+   regular-only packs, no epoch crossing, no selection tie), so fold
+   work overlaps the still-computing workers.  The coordinator and
+   counters are snapshotted at the window start; if an ordered fold of
+   the window's remainder then emits a response (whose broadcast point
+   depends on fold order), the parent rewinds and refolds the whole
+   window in exact ascending-site order — nothing was delivered
+   downstream before the rewind, so the replay is exact.  The
+   threshold ``u`` is monotone along every fold order, hence an epoch
+   crossing can never be silently skipped: the fold that would cross
+   either declines the unordered path or triggers the rewind.
+
+``last_run_stats`` records speculation hits/misses, rollback and
+refold counts, and a per-window timing breakdown (worker compute,
+transport wait, parent fold); ``repro ... --profile --engine sharded``
+prints it.
+
 Fallbacks: numpy-free installs, non-int64 ident streams, ``workers=1``
 (or one site), instrumented networks (a
 :class:`~repro.net.tracing.MessageTrace` wrapping the delivery
@@ -83,6 +130,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 import traceback
 import weakref
 from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Tuple
@@ -216,9 +264,15 @@ def _view_from_full_shm(name, spec, site_lo, site_hi):
 
 
 class _WorkerShard:
-    """Worker-side state for one run: sites, stream view, ring cursor."""
+    """Worker-side state for one run: sites, stream view, ring cursor.
 
-    def __init__(self, payload, ring, ring_bytes, stream_cache) -> None:
+    The ring is divided into equal slots (two in pipelined mode, one
+    in lockstep); each window encodes into slot ``t % 2`` so writes
+    for a speculative window never touch the slot the parent is still
+    reading.
+    """
+
+    def __init__(self, payload, ring, slot_bytes, stream_cache) -> None:
         self.site_lo: int = payload["site_lo"]
         self.site_hi: int = payload["site_hi"]
         self.sites: List = payload["sites"]
@@ -243,9 +297,10 @@ class _WorkerShard:
             stream_cache["view"] = view
             self.view = view
         self.ring = ring
-        self.ring_bytes = ring_bytes
+        self.slot_bytes = slot_bytes
         self.ring_view = memoryview(ring.buf) if ring is not None else None
         self.ring_off = 0
+        self.ring_limit = slot_bytes
         self.windows = list(
             batch_windows(
                 payload["n"],
@@ -255,7 +310,13 @@ class _WorkerShard:
             )
         )
 
-    def compute_window(self, lo: int, hi: int, min_site: Optional[int] = None):
+    def compute_window(
+        self,
+        lo: int,
+        hi: int,
+        min_site: Optional[int] = None,
+        slot: int = 0,
+    ):
         """Run the shard's site passes for global window ``[lo, hi)``.
 
         Mirrors the columnar engine's inner loop exactly: ascending
@@ -268,6 +329,8 @@ class _WorkerShard:
         ``min_site`` restricts the pass to sites with a *larger* id —
         the rollback suffix.  Pack contents are also invariant to the
         shared-prep shortcut, so the suffix pass simply skips it.
+        ``slot`` selects which ring slot the window's packs encode
+        into (always 0 in lockstep mode).
         """
         i0, i1 = self.view.window_bounds(lo, hi)
         if i0 == i1:
@@ -289,7 +352,8 @@ class _WorkerShard:
             )
             if share_prep:
                 window_prep = site0.prepare_window(weights_sorted)
-        self.ring_off = 0
+        self.ring_off = slot * self.slot_bytes
+        self.ring_limit = self.ring_off + self.slot_bytes
         out = []
         for site_id, start, end in zip(site_ids, starts, ends):
             if min_site is not None and site_id <= min_site:
@@ -318,21 +382,15 @@ class _WorkerShard:
         if isinstance(result, MessagePack):
             if len(result) == 0:
                 return None
-            kind, columns = result.to_arrays()
             if self.ring is not None:
-                total = sum(array.nbytes for array in columns.values())
-                if self.ring_off + total <= self.ring_bytes:
-                    spec = {}
-                    for name, array in columns.items():
-                        array = _np.ascontiguousarray(array)
-                        nbytes = array.nbytes
-                        offset = self.ring_off
-                        self.ring_view[offset : offset + nbytes] = memoryview(
-                            array
-                        ).cast("B")
-                        spec[name] = (offset, array.dtype.str, len(array))
-                        self.ring_off = offset + nbytes
+                encoded = result.write_into(
+                    self.ring_view, self.ring_off, self.ring_limit
+                )
+                if encoded is not None:
+                    kind, spec, end = encoded
+                    self.ring_off = end
                     return (site_id, "p", kind, spec)
+            kind, columns = result.to_arrays()
             return (site_id, "q", kind, columns)
         messages = list(result)
         if not messages:
@@ -374,6 +432,77 @@ def _restore_sites(shard: "_WorkerShard", snapshot) -> None:
             site.restore_state(state)
 
 
+def _apply_commit(shard: _WorkerShard, applied, controls) -> None:
+    """Commit a window: apply the controls each site has not seen yet."""
+    for idx, site in enumerate(shard.sites):
+        for _, dest, ctrl in controls[applied[idx] :]:
+            if dest == BROADCAST or dest == shard.site_lo + idx:
+                site.on_control(ctrl)
+
+
+def _apply_roll(
+    shard: _WorkerShard, lo, hi, snapshot, applied, from_site, controls, slot=0
+):
+    """Serve one rollback for window ``[lo, hi)``; return replacement
+    descriptors for the invalidated suffix (sites after ``from_site``).
+
+    Shared by the lockstep and pipelined worker loops; ``snapshot`` and
+    ``applied`` are the window's pre-compute state and per-site control
+    cursor, mutated in place across repeated rolls of the same window.
+    """
+    if snapshot is None:
+        # No arrivals this window: nothing to replay, just advance
+        # each site's control prefix incrementally.
+        for idx, site in enumerate(shard.sites):
+            site_id = shard.site_lo + idx
+            n_pre = _prefix_len(controls, site_id)
+            for _, dest, ctrl in controls[applied[idx] : n_pre]:
+                if dest == BROADCAST or dest == site_id:
+                    site.on_control(ctrl)
+            applied[idx] = n_pre
+        return []
+    if snapshot[0] == "fast":
+        # Per-site snapshots are independent: rewind and replay ONLY
+        # the invalidated suffix (sites after the trigger); prefix
+        # sites keep their state and their already-folded packs.
+        # Every control's trigger is <= from_site, so the whole list
+        # applies to every suffix site.
+        states = snapshot[1]
+        for idx, site in enumerate(shard.sites):
+            site_id = shard.site_lo + idx
+            if site_id <= from_site:
+                continue
+            site.restore_state(states[idx])
+            for _, dest, ctrl in controls:
+                if dest == BROADCAST or dest == site_id:
+                    site.on_control(ctrl)
+            applied[idx] = len(controls)
+        return shard.compute_window(lo, hi, min_site=from_site, slot=slot)
+    # Pickled snapshot: the site list is restored wholesale, so the
+    # prefix must be replayed too (deterministically identical) and
+    # its packs dropped from the resend.
+    _restore_sites(shard, snapshot)
+    for idx, site in enumerate(shard.sites):
+        site_id = shard.site_lo + idx
+        n_pre = _prefix_len(controls, site_id)
+        for _, dest, ctrl in controls[:n_pre]:
+            if dest == BROADCAST or dest == site_id:
+                site.on_control(ctrl)
+        applied[idx] = n_pre
+    results = shard.compute_window(lo, hi, slot=slot)
+    return [d for d in results if d[0] > from_site]
+
+
+def _send_state(shard: _WorkerShard, conn) -> None:
+    conn.send(
+        (
+            "sta",
+            shard.site_lo,
+            pickle.dumps(shard.sites, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+    )
+
+
 def _worker_run(shard: _WorkerShard, conn) -> None:
     """The lockstep window protocol, worker side, for one run.
 
@@ -398,61 +527,13 @@ def _worker_run(shard: _WorkerShard, conn) -> None:
             message = conn.recv()
             tag = message[0]
             if tag == "com":
-                controls = message[1]
-                for idx, site in enumerate(shard.sites):
-                    for _, dest, ctrl in controls[applied[idx] :]:
-                        if dest == BROADCAST or dest == shard.site_lo + idx:
-                            site.on_control(ctrl)
+                _apply_commit(shard, applied, message[1])
                 break
             if tag == "roll":
                 from_site, controls = message[1], message[2]
-                if snapshot is None:
-                    # No arrivals this window: nothing to replay, just
-                    # advance each site's control prefix incrementally.
-                    for idx, site in enumerate(shard.sites):
-                        site_id = shard.site_lo + idx
-                        n_pre = _prefix_len(controls, site_id)
-                        for _, dest, ctrl in controls[applied[idx] : n_pre]:
-                            if dest == BROADCAST or dest == site_id:
-                                site.on_control(ctrl)
-                        applied[idx] = n_pre
-                    conn.send(("res", []))
-                    continue
-                if snapshot[0] == "fast":
-                    # Per-site snapshots are independent: rewind and
-                    # replay ONLY the invalidated suffix (sites after
-                    # the trigger); prefix sites keep their state and
-                    # their already-folded packs.  Every control's
-                    # trigger is <= from_site, so the whole list
-                    # applies to every suffix site.
-                    states = snapshot[1]
-                    for idx, site in enumerate(shard.sites):
-                        site_id = shard.site_lo + idx
-                        if site_id <= from_site:
-                            continue
-                        site.restore_state(states[idx])
-                        for _, dest, ctrl in controls:
-                            if dest == BROADCAST or dest == site_id:
-                                site.on_control(ctrl)
-                        applied[idx] = len(controls)
-                    replacements = shard.compute_window(
-                        lo, hi, min_site=from_site
-                    )
-                else:
-                    # Pickled snapshot: the site list is restored
-                    # wholesale, so the prefix must be replayed too
-                    # (deterministically identical) and its packs
-                    # dropped from the resend.
-                    _restore_sites(shard, snapshot)
-                    for idx, site in enumerate(shard.sites):
-                        site_id = shard.site_lo + idx
-                        n_pre = _prefix_len(controls, site_id)
-                        for _, dest, ctrl in controls[:n_pre]:
-                            if dest == BROADCAST or dest == site_id:
-                                site.on_control(ctrl)
-                        applied[idx] = n_pre
-                    results = shard.compute_window(lo, hi)
-                    replacements = [d for d in results if d[0] > from_site]
+                replacements = _apply_roll(
+                    shard, lo, hi, snapshot, applied, from_site, controls
+                )
                 conn.send(("res", replacements))
                 continue
             raise ProtocolViolationError(
@@ -463,13 +544,123 @@ def _worker_run(shard: _WorkerShard, conn) -> None:
         raise ProtocolViolationError(
             f"shard worker got unexpected command {message[0]!r} at run end"
         )
-    conn.send(
-        (
-            "sta",
-            shard.site_lo,
-            pickle.dumps(shard.sites, protocol=pickle.HIGHEST_PROTOCOL),
+    _send_state(shard, conn)
+
+
+class _SpecWindow:
+    """Worker-side record of one in-flight (sent, uncommitted) window."""
+
+    __slots__ = ("t", "lo", "hi", "snapshot", "applied", "rolled")
+
+    def __init__(self, t, lo, hi, snapshot, num_sites) -> None:
+        self.t = t
+        self.lo = lo
+        self.hi = hi
+        self.snapshot = snapshot
+        self.applied = [0] * num_sites
+        self.rolled = False
+
+
+def _worker_run_pipelined(shard: _WorkerShard, conn) -> None:
+    """The pipelined window protocol, worker side, for one run.
+
+    Up to two windows are in flight: the *head* (oldest, awaiting the
+    parent's verdict) and one *speculative* window computed under the
+    assumption that the head commits without controls touching this
+    shard.  Message grammar (worker side):
+
+    * send ``("res", t, descriptors, compute_seconds)`` after each
+      window compute (first sends and speculative recomputes alike);
+    * on ``("roll", t, from_site, controls)``: discard the speculation
+      (restore its pre-window snapshot — it was computed from a now
+      invalid state), mark the head rolled (re-speculation would break
+      the fast roll's prefix-keeps-state invariant), replay/recompute
+      via :func:`_apply_roll`, send ``("rep", t, replacements)``;
+    * on ``("com", t, controls)``: pop the head and answer
+      ``("ack", t, hit)`` — *hit* iff the head was never rolled and no
+      unseen control targets this shard, i.e. the speculation is
+      valid.  On a miss the speculation is discarded, the controls are
+      applied, and the fill loop recomputes the next window fresh.
+
+    The pipe is FIFO both ways, so the parent can order the ack
+    against the speculative ``res``: on a hit the buffered ``res`` is
+    final; on a miss the fresh one follows the ack.
+    """
+    windows = shard.windows
+    total = len(windows)
+    num_sites = len(shard.sites)
+    entries: List[_SpecWindow] = []
+    nxt = 0
+    while entries or nxt < total:
+        while (
+            nxt < total
+            and len(entries) < 2
+            and not (entries and entries[0].rolled)
+        ):
+            lo, hi = windows[nxt]
+            i0, i1 = shard.view.window_bounds(lo, hi)
+            snapshot = _snapshot_sites(shard.sites) if i0 != i1 else None
+            t0 = time.perf_counter()
+            results = shard.compute_window(lo, hi, slot=nxt % 2)
+            conn.send(("res", nxt, results, time.perf_counter() - t0))
+            entries.append(_SpecWindow(nxt, lo, hi, snapshot, num_sites))
+            nxt += 1
+        message = conn.recv()
+        tag = message[0]
+        if tag == "com":
+            controls = message[2]
+            head = entries.pop(0)
+            miss = head.rolled
+            if not miss and controls:
+                for idx in range(num_sites):
+                    site_id = shard.site_lo + idx
+                    for _, dest, _ctrl in controls[head.applied[idx] :]:
+                        if dest == BROADCAST or dest == site_id:
+                            miss = True
+                            break
+                    if miss:
+                        break
+            conn.send(("ack", head.t, not miss))
+            if miss:
+                if entries:
+                    # The speculation ran from pre-control state:
+                    # rewind to its own pre-window snapshot (= the
+                    # committed window's end state) and recompute.
+                    spec = entries.pop(0)
+                    if spec.snapshot is not None:
+                        _restore_sites(shard, spec.snapshot)
+                    nxt = spec.t
+                _apply_commit(shard, head.applied, controls)
+        elif tag == "roll":
+            from_site, controls = message[2], message[3]
+            head = entries[0]
+            if len(entries) > 1:
+                spec = entries.pop()
+                if spec.snapshot is not None:
+                    _restore_sites(shard, spec.snapshot)
+                nxt = spec.t
+            head.rolled = True
+            replacements = _apply_roll(
+                shard,
+                head.lo,
+                head.hi,
+                head.snapshot,
+                head.applied,
+                from_site,
+                controls,
+                slot=head.t % 2,
+            )
+            conn.send(("rep", head.t, replacements))
+        else:
+            raise ProtocolViolationError(
+                f"shard worker got unexpected command {tag!r}"
+            )
+    message = conn.recv()
+    if message[0] != "fin":
+        raise ProtocolViolationError(
+            f"shard worker got unexpected command {message[0]!r} at run end"
         )
-    )
+    _send_state(shard, conn)
 
 
 def _worker_main(boot, conn) -> None:
@@ -482,10 +673,10 @@ def _worker_main(boot, conn) -> None:
     ring = None
     try:
         ring_spec = boot["ring"]
-        ring_bytes = 0
+        slot_bytes = 0
         if ring_spec is not None:
             ring = _attach_shm(ring_spec[0])
-            ring_bytes = ring_spec[1]
+            slot_bytes = ring_spec[1]
         stream_cache: dict = {}
         conn.send(("rdy",))
         while True:
@@ -496,9 +687,12 @@ def _worker_main(boot, conn) -> None:
                 raise ProtocolViolationError(
                     f"shard worker got unexpected command {command[0]!r}"
                 )
-            shard = _WorkerShard(command[1], ring, ring_bytes, stream_cache)
+            shard = _WorkerShard(command[1], ring, slot_bytes, stream_cache)
             try:
-                _worker_run(shard, conn)
+                if command[1].get("pipeline"):
+                    _worker_run_pipelined(shard, conn)
+                else:
+                    _worker_run(shard, conn)
             finally:
                 shard.close()
     except (EOFError, OSError, KeyboardInterrupt):
@@ -537,6 +731,26 @@ class _WorkerHandle:
         self.site_lo = 0  # set per run
         self.site_hi = 0
         self.ring = ring
+
+
+class _Inbox:
+    """Parent-side message cursor for one worker in pipelined mode.
+
+    The pipe is FIFO, so filing each message by tag is enough to
+    resolve speculation: window ``u``'s descriptors are *final* once
+    ``res[u]`` is present AND the previous window's ack verdict has
+    been seen — an ack miss discards the stale speculative ``res``
+    (the worker's recompute follows the ack in the pipe).
+    """
+
+    __slots__ = ("handle", "res", "secs", "acks", "reps")
+
+    def __init__(self, handle: _WorkerHandle) -> None:
+        self.handle = handle
+        self.res: dict = {}  # window -> descriptors (latest send)
+        self.secs: dict = {}  # window -> worker compute seconds
+        self.acks: dict = {}  # window -> speculation hit?
+        self.reps: dict = {}  # window -> rollback replacements
 
 
 def _unlink_segments(shms) -> None:
@@ -600,6 +814,12 @@ class ShardedEngine(ColumnarEngine):
         ``"shm"``, or ``"pipe"`` — how stream shards and result columns
         move between processes.  Pipes are the portable fallback;
         shared memory gives the parent zero-copy column views.
+    pipeline:
+        ``"auto"`` (pipelined — the default), ``"on"``, or ``"off"``
+        (strict lockstep).  Pipelined runs overlap worker compute with
+        parent folds via speculative windows, double-buffered rings,
+        and arrival-order coordinator folds (see the module docstring);
+        both modes are bit-identical to the columnar engine.
     """
 
     name = "sharded"
@@ -610,6 +830,7 @@ class ShardedEngine(ColumnarEngine):
         initial_batch_size: int = DEFAULT_INITIAL_BATCH_SIZE,
         workers: Optional[int] = None,
         transport: str = "auto",
+        pipeline: str = "auto",
     ) -> None:
         super().__init__(
             batch_size=batch_size, initial_batch_size=initial_batch_size
@@ -622,10 +843,17 @@ class ShardedEngine(ColumnarEngine):
             raise ConfigurationError(
                 f"transport must be 'auto', 'shm', or 'pipe', got {transport!r}"
             )
+        if pipeline not in ("auto", "on", "off"):
+            raise ConfigurationError(
+                f"pipeline must be 'auto', 'on', or 'off', got {pipeline!r}"
+            )
         self.workers = int(workers)
         self.transport = transport
+        self.pipeline = pipeline
+        self._pipelined = pipeline != "off"
         #: Observability: how the last ``run`` executed (mode, effective
-        #: transport, window/rollback counts, warm-pool reuse).
+        #: transport, window/rollback/speculation counts, per-window
+        #: timing, warm-pool reuse).
         self.last_run_stats: dict = {}
         self._pool = None
         self._finalizer = None
@@ -633,7 +861,8 @@ class ShardedEngine(ColumnarEngine):
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ShardedEngine(batch_size={self.batch_size}, "
-            f"workers={self.workers}, transport={self.transport!r})"
+            f"workers={self.workers}, transport={self.transport!r}, "
+            f"pipeline={self.pipeline!r})"
         )
 
     def close(self) -> None:
@@ -707,7 +936,12 @@ class ShardedEngine(ColumnarEngine):
                 on_checkpoint=on_checkpoint,
             )
         try:
-            counters = self._run_windows(
+            run_windows = (
+                self._run_windows_pipelined
+                if self._pipelined
+                else self._run_windows
+            )
+            counters = run_windows(
                 network, pool, n, marks, set(marks), on_step, on_checkpoint
             )
             self.last_run_stats["warm_pool"] = warm
@@ -745,13 +979,17 @@ class ShardedEngine(ColumnarEngine):
         if self.transport == "shm" and _shared_memory is None:
             raise ConfigurationError("shared memory is unavailable")
         ctx = get_context("spawn")
-        ring_bytes = max(_MIN_RING_BYTES, 48 * self.batch_size + 4096)
+        slot_bytes = max(_MIN_RING_BYTES, 48 * self.batch_size + 4096)
+        # Pipelined transport double-buffers: two slots per ring so a
+        # worker writes window t+1 while the parent still reads t.
+        slots = 2 if self._pipelined else 1
         pool = {
             "workers": workers,
             "handles": [],
             "rings": [],
             "transport": "shm" if use_shm else "pipe",
             "use_shm": use_shm,
+            "slots": slots,
         }
         try:
             for index in range(workers):
@@ -759,10 +997,10 @@ class ShardedEngine(ColumnarEngine):
                 ring_spec = None
                 if use_shm:
                     ring = _shared_memory.SharedMemory(
-                        create=True, size=ring_bytes
+                        create=True, size=slot_bytes * slots
                     )
                     pool["rings"].append(ring)
-                    ring_spec = (ring.name, ring_bytes)
+                    ring_spec = (ring.name, slot_bytes)
                 parent_conn, child_conn = ctx.Pipe()
                 process = ctx.Process(
                     target=_worker_main,
@@ -866,6 +1104,7 @@ class ShardedEngine(ColumnarEngine):
                 "initial_batch_size": self.initial_batch_size,
                 "marks": marks,
                 "stream": stream_spec,
+                "pipeline": self._pipelined,
             }
             self._send(handle, ("run", payload))
 
@@ -881,12 +1120,17 @@ class ShardedEngine(ColumnarEngine):
         )
         rollbacks = 0
         controls_total = 0
+        wait_total = 0.0
+        fold_total = 0.0
+        per_window = []
         for lo, hi in windows:
+            t0 = time.perf_counter()
             pending = {}
             for handle in handles:
                 message = self._recv(handle)
                 for descriptor in message[1]:
                     pending[descriptor[0]] = (handle, descriptor)
+            t1 = time.perf_counter()
             controls: List[Tuple[int, int, object]] = []
             order = sorted(pending)
             i = 0
@@ -922,6 +1166,17 @@ class ShardedEngine(ColumnarEngine):
             controls_total += len(controls)
             for handle in handles:
                 self._send(handle, ("com", controls))
+            t2 = time.perf_counter()
+            wait_total += t1 - t0
+            fold_total += t2 - t1
+            per_window.append(
+                {
+                    "window": len(per_window),
+                    "transport_wait_seconds": t1 - t0,
+                    "parent_fold_seconds": t2 - t1,
+                    "controls": len(controls),
+                }
+            )
             network.items_processed += hi - lo
             t = network.items_processed
             if on_step is not None:
@@ -943,15 +1198,361 @@ class ShardedEngine(ColumnarEngine):
             "mode": "sharded",
             "workers": pool["workers"],
             "transport": pool["transport"],
+            "pipeline": "off",
             "windows": len(windows),
             "rollbacks": rollbacks,
             "controls": controls_total,
+            "timing": {
+                "transport_wait_seconds": wait_total,
+                "parent_fold_seconds": fold_total,
+            },
+            "per_window": per_window,
             "shm_segments": [
                 shm.name
                 for shm in pool["rings"] + pool["stream"]["shms"]
             ],
         }
         return network.counters
+
+    # -- the pipelined fold --------------------------------------------
+
+    def _pump(self, inbox: _Inbox) -> None:
+        """Read and file exactly one worker message."""
+        message = self._recv(inbox.handle)
+        tag = message[0]
+        if tag == "res":
+            inbox.res[message[1]] = message[2]
+            inbox.secs[message[1]] = message[3]
+        elif tag == "ack":
+            inbox.acks[message[1]] = message[2]
+            if not message[2]:
+                # Speculation missed: the buffered next-window result
+                # is stale; the worker's recompute follows in the pipe.
+                inbox.res.pop(message[1] + 1, None)
+                inbox.secs.pop(message[1] + 1, None)
+        elif tag == "rep":
+            inbox.reps[message[1]] = message[2]
+        else:  # pragma: no cover - protocol bug guard
+            raise ShardedWorkerError(
+                f"shard worker {inbox.handle.index} sent unexpected {tag!r}"
+            )
+
+    def _run_windows_pipelined(
+        self, network, pool, n, marks, mark_set, on_step, on_checkpoint
+    ) -> "MessageCounters":
+        handles = pool["handles"]
+        inboxes = [_Inbox(handle) for handle in handles]
+        windows = list(
+            batch_windows(n, self.batch_size, self.initial_batch_size, marks)
+        )
+        # Arrival-order folds need a coordinator that can rewind; one
+        # that cannot (snapshot_state() is None) still pipelines via
+        # speculation and double buffering, with ordered folds only.
+        async_folds = network.coordinator.snapshot_state() is not None
+        st = {
+            "rollbacks": 0,
+            "controls": 0,
+            "spec_hits": 0,
+            "spec_misses": 0,
+            "unordered_folds": 0,
+            "ordered_refolds": 0,
+            "worker_compute_seconds": 0.0,
+            "transport_wait_seconds": 0.0,
+            "parent_fold_seconds": 0.0,
+            "per_window": [],
+        }
+        for u, (lo, hi) in enumerate(windows):
+            controls = self._fold_window_pipelined(
+                u, network, handles, inboxes, async_folds, st
+            )
+            st["controls"] += len(controls)
+            for handle in handles:
+                self._send(handle, ("com", u, controls))
+            network.items_processed += hi - lo
+            t = network.items_processed
+            if on_step is not None:
+                on_step(t)
+            if hi in mark_set:
+                on_checkpoint(t)
+        for handle in handles:
+            self._send(handle, ("fin",))
+        for inbox in inboxes:
+            while True:
+                message = self._recv(inbox.handle)
+                if message[0] == "ack":
+                    # The final window's ack: no speculation existed
+                    # behind it (there is no next window to compute).
+                    continue
+                if message[0] != "sta":  # pragma: no cover - bug guard
+                    raise ShardedWorkerError(
+                        f"shard worker {inbox.handle.index} sent "
+                        f"{message[0]!r} instead of final state"
+                    )
+                break
+            for offset, final in enumerate(pickle.loads(message[2])):
+                _adopt_site_state(network.sites[message[1] + offset], final)
+        self.last_run_stats = {
+            "mode": "sharded",
+            "workers": pool["workers"],
+            "transport": pool["transport"],
+            "pipeline": "on",
+            "async_folds": async_folds,
+            "windows": len(windows),
+            "rollbacks": st["rollbacks"],
+            "controls": st["controls"],
+            "speculation": {
+                "hits": st["spec_hits"],
+                "misses": st["spec_misses"],
+            },
+            "unordered_folds": st["unordered_folds"],
+            "ordered_refolds": st["ordered_refolds"],
+            "timing": {
+                "worker_compute_seconds": st["worker_compute_seconds"],
+                "transport_wait_seconds": st["transport_wait_seconds"],
+                "parent_fold_seconds": st["parent_fold_seconds"],
+            },
+            "per_window": st["per_window"],
+            "shm_segments": [
+                shm.name
+                for shm in pool["rings"] + pool["stream"]["shms"]
+            ],
+        }
+        return network.counters
+
+    def _fold_window_pipelined(
+        self, u, network, handles, inboxes, async_folds, st
+    ):
+        """Fold window ``u``: collect each worker's final descriptors,
+        folding arrival-order-safe packs as they land, then finish the
+        remainder in exact ascending-site order.  Returns the window's
+        control list (what ``com`` broadcasts to the workers).
+
+        Correctness of the overlap: unordered commits touch only
+        coordinator-internal state and are order-invariant by the
+        coordinator's own guards; the moment any ordered fold of the
+        remainder emits a response after such a commit, the whole
+        window rewinds to its start snapshot and refolds in exact
+        order — nothing was delivered downstream before the rewind
+        (the parent's site mirrors reject out-of-order epoch
+        thresholds), so the replay is indistinguishable from lockstep.
+        Rolls (clean path) and rewinds (dirty path) are mutually
+        exclusive within a window.
+        """
+        from multiprocessing.connection import wait as _connection_wait
+
+        coordinator = network.coordinator
+        counters = network.counters
+        coordinator_snapshot = counters_snapshot = None
+        if async_folds:
+            coordinator_snapshot = coordinator.snapshot_state()
+            counters_snapshot = counters.snapshot_state()
+        pending: dict = {}
+        alldesc: dict = {}
+        declined: set = set()
+        dirty = False
+        wait_seconds = 0.0
+        fold_seconds = 0.0
+        compute_seconds = 0.0
+        unordered_before = st["unordered_folds"]
+        remaining = set(range(len(handles)))
+        while remaining:
+            t0 = time.perf_counter()
+            _connection_wait(
+                [inboxes[i].handle.conn for i in remaining]
+            )
+            wait_seconds += time.perf_counter() - t0
+            for i in list(remaining):
+                inbox = inboxes[i]
+                while inbox.handle.conn.poll(0):
+                    self._pump(inbox)
+                if u in inbox.res and (u == 0 or (u - 1) in inbox.acks):
+                    if u > 0:
+                        if inbox.acks.pop(u - 1):
+                            st["spec_hits"] += 1
+                        else:
+                            st["spec_misses"] += 1
+                    secs = inbox.secs.pop(u, 0.0)
+                    if secs > compute_seconds:
+                        compute_seconds = secs
+                    for descriptor in inbox.res.pop(u):
+                        pending[descriptor[0]] = (inbox.handle, descriptor)
+                        alldesc[descriptor[0]] = (inbox.handle, descriptor)
+                    remaining.discard(i)
+            if async_folds and pending and remaining:
+                # Overlap: fold order-invariant packs now, while the
+                # remaining workers are still computing/shipping.
+                t0 = time.perf_counter()
+                for site_id in sorted(pending):
+                    if site_id in declined:
+                        continue
+                    handle, descriptor = pending[site_id]
+                    if descriptor[1] == "m":  # scalar lists fold ordered
+                        declined.add(site_id)
+                        continue
+                    if self._fold_unordered(
+                        network, site_id, handle, descriptor
+                    ):
+                        del pending[site_id]
+                        dirty = True
+                        st["unordered_folds"] += 1
+                    else:
+                        declined.add(site_id)
+                fold_seconds += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        if not dirty:
+            controls = self._fold_ordered(
+                u, network, handles, inboxes, pending, st
+            )
+        else:
+            # Out-of-order commits happened: finish the remainder with
+            # *silent* ordered folds (count + fold, deliver nothing)
+            # and rewind the whole window the moment one responds.
+            controls = None
+            for site_id in sorted(pending):
+                handle, descriptor = pending[site_id]
+                if self._fold_silent(network, site_id, handle, descriptor):
+                    st["ordered_refolds"] += 1
+                    coordinator.restore_state(coordinator_snapshot)
+                    counters.restore_state(counters_snapshot)
+                    controls = self._fold_ordered(
+                        u, network, handles, inboxes, alldesc, st
+                    )
+                    break
+            if controls is None:
+                controls = []
+        fold_seconds += time.perf_counter() - t0
+        st["worker_compute_seconds"] += compute_seconds
+        st["transport_wait_seconds"] += wait_seconds
+        st["parent_fold_seconds"] += fold_seconds
+        st["per_window"].append(
+            {
+                "window": u,
+                "worker_compute_seconds": compute_seconds,
+                "transport_wait_seconds": wait_seconds,
+                "parent_fold_seconds": fold_seconds,
+                "unordered_folds": st["unordered_folds"] - unordered_before,
+                "controls": len(controls),
+            }
+        )
+        return controls
+
+    def _fold_ordered(self, u, network, handles, inboxes, descriptors, st):
+        """The lockstep fold body over the pipelined wire: ascending
+        site order with the roll/replacement protocol (see
+        :meth:`_run_windows`), reading replacements through the
+        inboxes (speculative traffic may precede them in the pipe)."""
+        pending = dict(descriptors)
+        controls: List[Tuple[int, int, object]] = []
+        order = sorted(pending)
+        i = 0
+        while i < len(order):
+            site_id = order[i]
+            handle, descriptor = pending.pop(site_id)
+            responses = self._fold(
+                network, site_id, self._decode(handle, descriptor)
+            )
+            if responses:
+                controls.extend(
+                    (site_id, dest, message) for dest, message in responses
+                )
+                needs_roll = any(
+                    dest == BROADCAST or dest > site_id
+                    for dest, _ in responses
+                )
+                affected = [h for h in handles if h.site_hi - 1 > site_id]
+                if needs_roll and affected:
+                    st["rollbacks"] += 1
+                    for h in affected:
+                        self._send(h, ("roll", u, site_id, controls))
+                    for stale in [s for s in pending if s > site_id]:
+                        del pending[stale]
+                    for h in affected:
+                        inbox = inboxes[h.index]
+                        while u not in inbox.reps:
+                            self._pump(inbox)
+                        for descriptor in inbox.reps.pop(u):
+                            pending[descriptor[0]] = (h, descriptor)
+                    order = order[: i + 1] + sorted(
+                        s for s in pending if s > site_id
+                    )
+            i += 1
+        return controls
+
+    def _fold_unordered(self, network, site_id, handle, descriptor) -> bool:
+        """Attempt one arrival-order fold; True iff it committed.
+
+        A method (not inline) so the decoded zero-copy ring view dies
+        with this frame — a view bound in a frame captured by an error
+        traceback would outlive the pool and block ring teardown.
+        """
+        payload = self._decode(handle, descriptor)
+        if network.coordinator.on_message_pack_unordered(site_id, payload):
+            network.counters.record_upstream_pack(payload)
+            return True
+        return False
+
+    def _fold_silent(self, network, site_id, handle, descriptor) -> bool:
+        """Ordered fold that delivers nothing downstream; True iff the
+        coordinator responded (the dirty window must then rewind).
+        Frame-scoped for the same ring-view-lifetime reason as
+        :meth:`_fold_unordered`.
+        """
+        coordinator = network.coordinator
+        counters = network.counters
+        payload = self._decode(handle, descriptor)
+        if isinstance(payload, MessagePack):
+            counters.record_upstream_pack(payload)
+            return bool(coordinator.on_message_pack(site_id, payload))
+        for message in payload:
+            counters.record_upstream(message)
+            if coordinator.on_message(site_id, message):
+                return True
+        return False
+
+    def format_stats(self) -> str:
+        """A human-readable breakdown of :attr:`last_run_stats` (used
+        by ``repro ... --profile --engine sharded``)."""
+        stats = self.last_run_stats
+        if not stats:
+            return "sharded engine: no run recorded"
+        if stats.get("mode") != "sharded":
+            return (
+                f"sharded engine: ran in fallback mode "
+                f"({stats.get('reason', 'unknown reason')})"
+            )
+        lines = [
+            (
+                f"sharded engine breakdown (pipeline "
+                f"{stats.get('pipeline', '?')}, {stats['workers']} workers, "
+                f"{stats['transport']} transport):"
+            ),
+            (
+                f"  windows {stats['windows']}, rollbacks "
+                f"{stats['rollbacks']}, controls {stats['controls']}"
+            ),
+        ]
+        spec = stats.get("speculation")
+        if spec is not None:
+            lines.append(
+                f"  speculation: {spec['hits']} hits, {spec['misses']} misses"
+            )
+        if "unordered_folds" in stats:
+            lines.append(
+                f"  async folds: {stats['unordered_folds']} packs out of "
+                f"order, {stats['ordered_refolds']} window refolds"
+            )
+        timing = stats.get("timing")
+        if timing is not None:
+            parts = []
+            for label, key in (
+                ("worker compute", "worker_compute_seconds"),
+                ("transport wait", "transport_wait_seconds"),
+                ("parent fold", "parent_fold_seconds"),
+            ):
+                if key in timing:
+                    parts.append(f"{label} {timing[key]:.3f}s")
+            lines.append("  time: " + ", ".join(parts))
+        return "\n".join(lines)
 
     @staticmethod
     def _send(handle, message) -> None:

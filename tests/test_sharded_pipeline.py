@@ -1,0 +1,315 @@
+"""Pipelined sharded engine under adversarial broadcast pressure.
+
+The broadcast-storm stream below is built to make speculation *lose*
+constantly: a tiny ``level_set_factor`` shrinks the saturation size so
+LEVEL_SATURATED broadcasts fire repeatedly, and an escalating weight
+spine forces the threshold across epoch brackets again and again
+(EPOCH_UPDATE broadcasts).  Every control broadcast both rolls back the
+in-flight window (dozens of rollbacks per run) and invalidates the
+workers' speculative next window (speculation misses).  Bit-parity of
+the samples AND the message counters against the single-process
+columnar engine must survive all of it, in both pipeline modes, across
+transports, batch sizes, reused networks, and checkpoints.
+
+The second half pins the coordinator-level contracts the pipelined
+fold relies on — ``on_message_pack_unordered`` declining exactly the
+unsafe packs, and ``snapshot_state``/``restore_state`` round-tripping —
+because the engine-level overlap that exercises them end-to-end is
+timing-dependent (a pack must *arrive* while another worker is still
+computing) and so cannot be asserted deterministically from outside.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import DistributedWeightedSWOR, SworConfig
+from repro.net.counters import MessageCounters
+from repro.net.messages import EARLY, Message, MessagePack
+from repro.runtime import ColumnarEngine, ShardedEngine
+from repro.stream import round_robin, zipf_stream
+from repro.stream.item import Item
+
+np = pytest.importorskip("numpy")
+
+SITES = 8
+SAMPLE = 4
+SEED = 3
+
+#: Shrinks saturation_size to round(0.75 * r * s) = 6 items per level
+#: set (r = 2 here), so level sets saturate — and broadcast — within a
+#: window or two of filling.
+STORM_FACTOR = 0.75
+
+
+def _config(sites=SITES):
+    return SworConfig(
+        num_sites=sites, sample_size=SAMPLE, level_set_factor=STORM_FACTOR
+    )
+
+
+def _storm(n=6000, seed=0, sites=SITES):
+    """Adversarial stream: a cycling level ladder plus a rising spine.
+
+    Four of five items cycle weights through ``2^0..2^7`` so every
+    level set fills (and with STORM_FACTOR, saturates) continuously;
+    every fifth item sits on an exponentially rising spine
+    ``2^(4..24)`` that drags the sample threshold across epoch
+    brackets throughout the run.  Both control families — LEVEL_SATURATED
+    and EPOCH_UPDATE — therefore fire dozens of times.
+    """
+    rng = random.Random(seed)
+    items = []
+    for i in range(n):
+        if i % 5 == 0:
+            weight = 2.0 ** (4.0 + 20.0 * i / n) * (1.0 + rng.random())
+        else:
+            weight = 2.0 ** (i % 8) * (1.0 + rng.random())
+        items.append(Item(i, weight))
+    return round_robin(items, sites)
+
+
+def _run(stream, engine, sites=SITES, **kwargs):
+    proto = DistributedWeightedSWOR(
+        _config(sites), seed=SEED, engine=engine, **kwargs
+    )
+    proto.run(stream)
+    return proto
+
+
+def _fingerprint(proto):
+    return (
+        [(item.ident, item.weight, key) for item, key in proto.sample_with_keys()],
+        proto.counters.snapshot(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# 1. Bit-parity through the storm
+# ---------------------------------------------------------------------------
+
+
+class TestBroadcastStormParity:
+    @pytest.fixture(scope="class")
+    def storm_stream(self):
+        return _storm()
+
+    @pytest.fixture(scope="class")
+    def columnar_256(self, storm_stream):
+        return _fingerprint(_run(storm_stream, ColumnarEngine(batch_size=256)))
+
+    @pytest.mark.parametrize(
+        "workers,transport,pipeline",
+        [
+            (2, "shm", "on"),
+            (3, "pipe", "on"),
+            (4, "auto", "on"),
+            (2, "shm", "off"),
+            (3, "pipe", "off"),
+        ],
+    )
+    def test_parity_and_speculation_accounting(
+        self, storm_stream, columnar_256, workers, transport, pipeline
+    ):
+        engine = ShardedEngine(
+            batch_size=256, workers=workers, transport=transport, pipeline=pipeline
+        )
+        proto = _run(storm_stream, engine)
+        st = engine.last_run_stats
+        assert st["mode"] == "sharded"
+        assert st["pipeline"] == pipeline
+        assert _fingerprint(proto) == columnar_256
+        # The storm must actually storm: control broadcasts land
+        # mid-window dozens of times (38 observed at this config).
+        assert st["rollbacks"] >= 24
+        if pipeline == "on":
+            # Every window but the last is speculated by every worker,
+            # and each speculation is resolved as exactly one hit or
+            # miss at commit time.
+            spec = st["speculation"]
+            assert spec["misses"] > 0
+            expected = (st["windows"] - 1) * workers
+            assert spec["hits"] + spec["misses"] == expected
+
+    @pytest.mark.parametrize("batch_size,n", [(1, 800), (64, 4000), (512, 6000)])
+    def test_parity_across_batch_sizes(self, batch_size, n):
+        stream = _storm(n=n, seed=5)
+        columnar = _fingerprint(
+            _run(stream, ColumnarEngine(batch_size=batch_size))
+        )
+        engine = ShardedEngine(batch_size=batch_size, workers=2, pipeline="on")
+        proto = _run(stream, engine)
+        assert engine.last_run_stats["mode"] == "sharded"
+        assert _fingerprint(proto) == columnar
+
+    @pytest.mark.parametrize("pipeline", ["on", "off"])
+    def test_reused_network_continues_through_storm(self, pipeline):
+        # Two consecutive runs on one protocol: the worker finals from
+        # run 1 (including speculative state discarded at the fin
+        # barrier) must transplant back so run 2 continues the RNG
+        # streams exactly.
+        first = _storm(n=3000, seed=9)
+        second = _storm(n=3000, seed=10)
+
+        def run_twice(engine):
+            proto = DistributedWeightedSWOR(_config(), seed=SEED, engine=engine)
+            proto.run(first)
+            proto.run(second)
+            return _fingerprint(proto)
+
+        assert run_twice(ColumnarEngine(batch_size=256)) == run_twice(
+            ShardedEngine(batch_size=256, workers=3, pipeline=pipeline)
+        )
+
+    @pytest.mark.parametrize("pipeline", ["on", "off"])
+    def test_checkpoints_and_steps_match_columnar(self, pipeline):
+        # Checkpoints force window splits at arbitrary items; the
+        # pipelined commit/ack cycle must not disturb their timing.
+        stream = _storm(n=6000, seed=11)
+        checkpoints = [100, 2500, 2501, 6000]
+
+        def run(engine):
+            proto = DistributedWeightedSWOR(_config(), seed=SEED, engine=engine)
+            hits, steps = [], []
+            proto.run(
+                stream,
+                checkpoints=checkpoints,
+                on_checkpoint=lambda t: hits.append(
+                    (t, tuple(i.ident for i in proto.sample()))
+                ),
+                on_step=steps.append,
+            )
+            return hits, steps, _fingerprint(proto)
+
+        assert run(ColumnarEngine(batch_size=512)) == run(
+            ShardedEngine(batch_size=512, workers=3, pipeline=pipeline)
+        )
+
+    def test_stats_shape_pipelined(self, storm_stream, columnar_256):
+        engine = ShardedEngine(batch_size=256, workers=2, pipeline="on")
+        _run(storm_stream, engine)
+        st = engine.last_run_stats
+        assert st["timing"].keys() == {
+            "worker_compute_seconds",
+            "transport_wait_seconds",
+            "parent_fold_seconds",
+        }
+        assert all(v >= 0.0 for v in st["timing"].values())
+        assert len(st["per_window"]) == st["windows"]
+        assert st["unordered_folds"] >= 0
+        assert st["ordered_refolds"] >= 0
+        # format_stats renders without raising and names the mode.
+        text = engine.format_stats()
+        assert "pipeline on" in text
+        assert "speculation" in text
+
+    def test_single_worker_fallback_dict(self, storm_stream, columnar_256):
+        engine = ShardedEngine(batch_size=256, workers=1, pipeline="on")
+        proto = _run(storm_stream, engine)
+        assert engine.last_run_stats == {
+            "mode": "fallback",
+            "reason": "single worker",
+        }
+        assert _fingerprint(proto) == columnar_256
+
+
+# ---------------------------------------------------------------------------
+# 2. Coordinator contracts behind the arrival-order fold
+# ---------------------------------------------------------------------------
+
+
+def _warm_coordinator():
+    """A coordinator mid-run, with a populated sample set and epoch."""
+    proto = DistributedWeightedSWOR(
+        SworConfig(num_sites=SITES, sample_size=SAMPLE), seed=SEED
+    )
+    proto.run(round_robin(zipf_stream(2000, random.Random(0), alpha=1.2), SITES))
+    return proto.coordinator, proto.network.counters
+
+
+def _regular_pack(keys, idents=None):
+    keys = np.asarray(keys, dtype="float64")
+    if idents is None:
+        idents = 900_000 + np.arange(len(keys))
+    return MessagePack(
+        regular_idents=np.asarray(idents, dtype="int64"),
+        regular_weights=np.ones(len(keys), dtype="float64"),
+        regular_keys=keys,
+    )
+
+
+class TestUnorderedFoldContract:
+    def test_safe_regular_pack_commits(self):
+        coord, _ = _warm_coordinator()
+        thr = coord.sample_set.threshold
+        pack = _regular_pack([thr * 1.001, thr * 1.002])
+        before = coord.regular_received
+        assert coord.on_message_pack_unordered(0, pack) is True
+        assert coord.regular_received == before + 2
+        assert coord.sample_set.threshold > thr
+
+    def test_unordered_commit_matches_ordered_fold(self):
+        # The whole point of the arrival-order fold: for a pack it
+        # accepts, the resulting coordinator state is bit-identical to
+        # folding the same pack at its ordered position.
+        coord, _ = _warm_coordinator()
+        thr = coord.sample_set.threshold
+        pack = _regular_pack([thr * 1.001, thr * 1.002, thr * 0.5])
+        start = coord.snapshot_state()
+        assert coord.on_message_pack_unordered(0, pack) is True
+        unordered_end = coord.snapshot_state()
+        coord.restore_state(start)
+        assert coord.on_message_pack(0, pack) == []  # no broadcast
+        assert coord.snapshot_state() == unordered_end
+
+    def test_early_bearing_pack_declined(self):
+        coord, _ = _warm_coordinator()
+        # Early items draw coordinator RNG in fold order — never safe
+        # to commit out of order.
+        pack = MessagePack(
+            early_idents=np.array([7], dtype="int64"),
+            early_weights=np.array([2.0], dtype="float64"),
+            early_levels=np.array([1], dtype="int64"),
+        )
+        before = coord.snapshot_state()
+        assert coord.on_message_pack_unordered(0, pack) is False
+        assert coord.snapshot_state() == before
+
+    def test_epoch_crossing_pack_declined_untouched(self):
+        coord, _ = _warm_coordinator()
+        big = coord.epochs.r ** (coord.epochs.epoch + 3)
+        pack = _regular_pack([big, big * 2, big * 3, big * 4])
+        before = coord.snapshot_state()
+        # Committing this would fire an EPOCH_UPDATE broadcast whose
+        # position in the window matters — must decline, and must leave
+        # every piece of state (incl. receipt counters) untouched.
+        assert coord.on_message_pack_unordered(0, pack) is False
+        assert coord.snapshot_state() == before
+        assert coord.epochs.would_announce(
+            coord.sample_set.merge_preview(pack.regular_keys)[0]
+        )
+
+    def test_snapshot_restore_roundtrip(self):
+        coord, _ = _warm_coordinator()
+        saved = coord.snapshot_state()
+        thr = coord.sample_set.threshold
+        # Multipliers stay tiny so the merged threshold does not cross
+        # an epoch bracket (which would make the commit decline).
+        mutating = _regular_pack([thr * 1.001, thr * 1.002, thr * 1.003])
+        assert coord.on_message_pack_unordered(0, mutating) is True
+        assert coord.snapshot_state() != saved
+        coord.restore_state(saved)
+        assert coord.snapshot_state() == saved
+        assert coord.sample_set.threshold == thr
+
+    def test_counters_snapshot_restore_roundtrip(self):
+        _, counters = _warm_coordinator()
+        saved_state = counters.snapshot_state()
+        saved_view = counters.snapshot()
+        counters.record_upstream(Message(EARLY, (1, 2.0)))
+        counters.record_upstream_pack(_regular_pack([1.0, 2.0]))
+        assert counters.snapshot() != saved_view
+        counters.restore_state(saved_state)
+        assert counters.snapshot() == saved_view
