@@ -65,6 +65,16 @@ def _measure(stream, engine):
     return best, messages
 
 
+def _metrics_snapshot(stream):
+    """One extra instrumented batched run, so the JSON artifact carries
+    the run's full telemetry (the timed runs above stay pristine)."""
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    _run_once(stream, 1, BatchedEngine().instrument(registry))
+    return registry.snapshot()
+
+
 def _bench(report_fn):
     stream = _make_stream()
     ref_time, ref_msgs = _measure(stream, None)
@@ -106,6 +116,7 @@ def _bench(report_fn):
             "speedup": round(speedup, 3),
             "min_speedup": MIN_SPEEDUP,
             "worst_message_ratio": round(msg_ratio, 4),
+            "metrics": _metrics_snapshot(stream),
         }
         with open(JSON_PATH, "w") as fh:
             json.dump(result, fh, indent=2)

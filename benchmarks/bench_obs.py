@@ -1,0 +1,142 @@
+"""Observability overhead gate: the telemetry plane must be ~free.
+
+The tentpole claim of the metrics registry (:mod:`repro.obs`): engine
+instrumentation is observational only and sits at run/window
+granularity, so
+
+1. **Overhead** — a columnar weighted-SWOR run with a live
+   :class:`~repro.obs.MetricsRegistry` attached must cost **<= 2%**
+   wall time over the identical run with the default no-op registry
+   (best-of-``REPS`` on both sides, measured interleaved so clock
+   drift hits both equally);
+2. **Bit-parity** — samples AND message counters are identical with
+   the registry on and off (the registry only *observes*).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_obs.py -q
+
+Environment knobs (used by the CI smoke job):
+
+* ``REPRO_BENCH_OBS_ITEMS``        — stream length (default 200000)
+* ``REPRO_BENCH_OBS_SITES``        — number of sites (default 32)
+* ``REPRO_BENCH_OBS_MAX_OVERHEAD`` — overhead gate (default 0.02)
+* ``REPRO_BENCH_OBS_JSON``         — path to write the result as JSON
+  (embeds the live registry's snapshot, so the artifact carries the
+  run's full telemetry)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+
+from repro.analysis import format_table
+from repro.core import DistributedWeightedSWOR, SworConfig
+from repro.obs import MetricsRegistry
+from repro.runtime import ColumnarEngine
+from repro.stream import round_robin, zipf_stream
+
+ITEMS = int(os.environ.get("REPRO_BENCH_OBS_ITEMS", 200_000))
+SITES = int(os.environ.get("REPRO_BENCH_OBS_SITES", 32))
+MAX_OVERHEAD = float(os.environ.get("REPRO_BENCH_OBS_MAX_OVERHEAD", 0.02))
+JSON_PATH = os.environ.get("REPRO_BENCH_OBS_JSON")
+SAMPLE = 16
+SEED = 1
+REPS = 7  # timing repetitions per side (best-of)
+
+
+def _make_stream():
+    rng = random.Random(0)
+    return round_robin(zipf_stream(ITEMS, rng, alpha=1.2), SITES)
+
+
+def _run_once(stream, registry):
+    engine = ColumnarEngine()
+    if registry is not None:
+        engine.instrument(registry)
+    proto = DistributedWeightedSWOR(
+        SworConfig(num_sites=SITES, sample_size=SAMPLE),
+        seed=SEED,
+        engine=engine,
+    )
+    t0 = time.perf_counter()
+    proto.run(stream)
+    return time.perf_counter() - t0, proto
+
+
+def _bench(report_fn):
+    stream = _make_stream()
+    registry = MetricsRegistry()
+    # Interleave the two sides so slow-clock intervals (GC, turbo
+    # transitions) cannot land on just one of them.
+    base_best = live_best = None
+    base_proto = live_proto = None
+    for _ in range(REPS):
+        elapsed, proto = _run_once(stream, None)
+        if base_best is None or elapsed < base_best:
+            base_best, base_proto = elapsed, proto
+        elapsed, proto = _run_once(stream, registry)
+        if live_best is None or elapsed < live_best:
+            live_best, live_proto = elapsed, proto
+    overhead = live_best / base_best - 1.0
+    samples_identical = (
+        base_proto.sample_with_keys() == live_proto.sample_with_keys()
+    )
+    counters_identical = (
+        base_proto.counters.snapshot() == live_proto.counters.snapshot()
+    )
+    rows = [
+        {
+            "registry": "null (default)",
+            "seconds": round(base_best, 4),
+            "items_per_sec": round(ITEMS / base_best),
+        },
+        {
+            "registry": "live MetricsRegistry",
+            "seconds": round(live_best, 4),
+            "items_per_sec": round(ITEMS / live_best),
+        },
+    ]
+    report_fn(
+        format_table(
+            rows,
+            title=f"telemetry overhead: columnar weighted SWOR, {ITEMS} "
+            f"items, k={SITES}, s={SAMPLE}",
+            caption=f"overhead {overhead * 100:+.2f}% (gate <= "
+            f"{MAX_OVERHEAD * 100:.0f}%), samples identical: "
+            f"{samples_identical}, counters identical: "
+            f"{counters_identical}, {len(registry.metric_names())} "
+            "metric families exported",
+        )
+    )
+    if JSON_PATH:
+        result = {
+            "items": ITEMS,
+            "sites": SITES,
+            "sample_size": SAMPLE,
+            "base_seconds": round(base_best, 4),
+            "instrumented_seconds": round(live_best, 4),
+            "overhead": round(overhead, 4),
+            "max_overhead": MAX_OVERHEAD,
+            "samples_identical": samples_identical,
+            "counters_identical": counters_identical,
+            "metrics": registry.snapshot(),
+        }
+        with open(JSON_PATH, "w") as fh:
+            json.dump(result, fh, indent=2)
+    return overhead, samples_identical, counters_identical
+
+
+def test_registry_overhead_and_parity(benchmark, report):
+    overhead, samples_identical, counters_identical = benchmark.pedantic(
+        lambda: _bench(report), rounds=1, iterations=1
+    )
+    assert samples_identical, "instrumentation changed the sample"
+    assert counters_identical, "instrumentation changed the counters"
+    assert overhead <= MAX_OVERHEAD, (
+        f"registry overhead {overhead * 100:.2f}% exceeds "
+        f"{MAX_OVERHEAD * 100:.0f}% gate"
+    )

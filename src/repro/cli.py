@@ -29,6 +29,14 @@ subcommand's value wins when both are present.
 ``--profile`` profiles the parent process: under ``--engine sharded``
 that is the coordinator fold and transport (the interesting hot path);
 worker processes are spawned fresh and are not traced.
+``--profile-out FILE`` writes the full profile to a file instead
+(implies profiling even without ``--profile``).
+
+Every run-driving subcommand also accepts ``--metrics-out FILE``: the
+run executes with a live :class:`~repro.obs.MetricsRegistry` attached
+and the telemetry is written at exit — Prometheus text for ``.prom`` /
+``.txt`` paths, a JSON snapshot otherwise.  ``repro stats`` runs a
+seeded SWOR workload and dumps the exposition straight to stdout.
 """
 
 from __future__ import annotations
@@ -128,6 +136,22 @@ def build_parser() -> argparse.ArgumentParser:
             "engine's window/speculation/timing breakdown when --engine "
             "sharded ran)",
         )
+        p.add_argument(
+            "--profile-out",
+            metavar="FILE",
+            default=None,
+            help="write the full cProfile output to FILE (implies "
+            "profiling; combine with --profile to also get the stderr "
+            "summary)",
+        )
+        p.add_argument(
+            "--metrics-out",
+            metavar="FILE",
+            default=None,
+            help="run with a live metrics registry and write the "
+            "telemetry to FILE at exit (.prom/.txt: Prometheus text; "
+            "anything else: JSON snapshot)",
+        )
 
     def common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--sites", type=int, default=16, help="number of sites k")
@@ -176,6 +200,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--alpha", type=float, default=1.2, help="Zipf tail index of weights"
     )
 
+    p_stats = sub.add_parser(
+        "stats",
+        help="run a seeded SWOR workload with a live metrics registry "
+        "and dump the telemetry to stdout (Prometheus text or JSON)",
+    )
+    common(p_stats)
+    p_stats.add_argument("--sample", type=int, default=16, help="sample size s")
+    p_stats.add_argument(
+        "--alpha", type=float, default=1.2, help="Zipf tail index of weights"
+    )
+    p_stats.add_argument(
+        "--format",
+        choices=("prometheus", "json"),
+        default="prometheus",
+        help="exposition format printed to stdout (default: prometheus)",
+    )
+
     p_bounds = sub.add_parser(
         "bounds", help="print every closed-form bound at given parameters"
     )
@@ -206,7 +247,9 @@ def _check_engine_flags(args: argparse.Namespace) -> None:
 
 def _engine_of(args: argparse.Namespace):
     """Resolve the subcommand's engine selection (stashed on ``args``
-    so ``--profile`` can print the engine's run stats afterwards)."""
+    so ``--profile`` can print the engine's run stats afterwards).
+    ``--metrics-out`` (and the ``stats`` subcommand) attach a live
+    registry here, so every engine-driven run exports telemetry."""
     _check_engine_flags(args)
     engine = get_engine(
         args.engine,
@@ -215,6 +258,12 @@ def _engine_of(args: argparse.Namespace):
         pipeline=args.pipeline,
     )
     args._engine = engine
+    if getattr(args, "metrics_out", None) or args.command == "stats":
+        from .obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        engine.instrument(registry)
+        args._registry = registry
     return engine
 
 
@@ -378,12 +427,19 @@ def _cmd_query(args: argparse.Namespace) -> str:
             SlidingWindowQuery("recent_weight", window=window, sample_size=s),
         ]
     )
+    registry = None
+    if getattr(args, "metrics_out", None):
+        from .obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        args._registry = registry
     driver = MultiQueryDriver(
         catalog,
         num_sites=args.sites,
         seed=args.seed,
         engine=args.engine,
         batch_size=args.batch_size,
+        registry=registry,
     )
     result = driver.run(stream)
 
@@ -426,6 +482,29 @@ def _cmd_query(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_stats(args: argparse.Namespace) -> str:
+    """Run a seeded SWOR workload under a live registry and return the
+    exposition: the quickest way to *see* the telemetry plane (and a
+    handy smoke test that every layer exports)."""
+    from .obs import render_json, render_prometheus
+
+    engine = _engine_of(args)  # attaches args._registry (stats command)
+    registry = args._registry
+    rng = random.Random(args.seed)
+    items = zipf_stream(args.items, rng, alpha=args.alpha)
+    stream = round_robin(items, args.sites)
+    proto = DistributedWeightedSWOR(
+        SworConfig(num_sites=args.sites, sample_size=args.sample),
+        seed=args.seed,
+        engine=engine,
+    )
+    proto.run(stream)
+    print(engine.format_stats(), file=sys.stderr)
+    if args.format == "json":
+        return render_json(registry)
+    return render_prometheus(registry)
+
+
 def _cmd_bounds(args: argparse.Namespace) -> str:
     _engine_of(args)  # no stream to run, but validate the flags uniformly
     k, s, eps, delta, w = (
@@ -460,6 +539,7 @@ _COMMANDS = {
     "hh": _cmd_hh,
     "l1": _cmd_l1,
     "query": _cmd_query,
+    "stats": _cmd_stats,
     "bounds": _cmd_bounds,
 }
 
@@ -470,7 +550,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     _resolve_seed(args)
     command = _COMMANDS[args.command]
-    if getattr(args, "profile", False):
+    profile_out = getattr(args, "profile_out", None)
+    if getattr(args, "profile", False) or profile_out:
         import cProfile
         import pstats
 
@@ -478,13 +559,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         profiler.enable()
         output = command(args)
         profiler.disable()
-        stats = pstats.Stats(profiler, stream=sys.stderr)
-        stats.sort_stats("cumulative").print_stats(20)
-        engine = getattr(args, "_engine", None)
-        if hasattr(engine, "format_stats"):
-            print(engine.format_stats(), file=sys.stderr)
+        if profile_out:
+            with open(profile_out, "w", encoding="utf-8") as fh:
+                pstats.Stats(profiler, stream=fh).sort_stats(
+                    "cumulative"
+                ).print_stats()
+            print(f"profile written to {profile_out}", file=sys.stderr)
+        if getattr(args, "profile", False):
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            stats.sort_stats("cumulative").print_stats(20)
+            engine = getattr(args, "_engine", None)
+            if hasattr(engine, "format_stats"):
+                print(engine.format_stats(), file=sys.stderr)
     else:
         output = command(args)
+    metrics_out = getattr(args, "metrics_out", None)
+    registry = getattr(args, "_registry", None)
+    if metrics_out and registry is not None:
+        from .obs import write_metrics
+
+        written = write_metrics(registry, metrics_out)
+        print(f"metrics written to {metrics_out} ({written})", file=sys.stderr)
     print(output)
     return 0
 

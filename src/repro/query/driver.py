@@ -38,6 +38,7 @@ and with ``engine="reference"`` (batch size 1) to the reference engine.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 try:  # numpy unlocks the shared vectorized pass; gated, not required
@@ -51,6 +52,7 @@ from ..core.config import SworConfig
 from ..core.levels import levels_of_array
 from ..net.counters import MessageCounters
 from ..net.messages import EARLY, Message, MessagePack, REGULAR
+from ..obs import NULL_REGISTRY
 from ..runtime.batched import (
     DEFAULT_BATCH_SIZE,
     DEFAULT_INITIAL_BATCH_SIZE,
@@ -391,6 +393,12 @@ class MultiQueryDriver:
         Allow the fused same-config SWOR fast path (disable to force
         the generic per-query path, e.g. for benchmarking the fusion
         gain itself).
+    registry:
+        Optional :class:`~repro.obs.MetricsRegistry`; when attached,
+        each run exports per-query fold time
+        (``repro_query_fold_seconds_total{query=...}``), per-query
+        message gauges, and driver run/item counters.  Answers and
+        counters are bit-identical with and without it.
     """
 
     def __init__(
@@ -403,6 +411,7 @@ class MultiQueryDriver:
         initial_batch_size: Optional[int] = None,
         confidence: float = 0.95,
         fuse: bool = True,
+        registry=None,
     ) -> None:
         if num_sites <= 0:
             raise ConfigurationError(f"num_sites must be positive, got {num_sites}")
@@ -446,6 +455,9 @@ class MultiQueryDriver:
             c for c in self.compiled if isinstance(c, CentralizedQuery)
         ]
         self.items_processed = 0
+        #: Telemetry sink (:mod:`repro.obs`); the no-op registry by
+        #: default, so un-instrumented drivers time nothing per batch.
+        self.registry = NULL_REGISTRY if registry is None else registry
 
     # -- answers ------------------------------------------------------
 
@@ -543,33 +555,45 @@ class MultiQueryDriver:
             arrays is not None and arrays[2] is not None and centralized
         )
         ts_column = getattr(stream, "timestamps", None)
+        registry = self.registry
+        # Per-consumer fold clocks, allocated only when a live registry
+        # is attached (timing is per (window, site, consumer) — the
+        # null registry pays zero perf_counter calls).
+        timings = [0.0] * len(consumers) if registry.enabled else None
+        span = registry.span("driver_run")
         # batch_windows is the same schedule BatchedEngine iterates —
         # the source of the driver's run-for-run parity with it.
-        for lo, hi in batch_windows(
-            n, self.batch_size, self.initial_batch_size, marks
-        ):
-            if arrays is not None:
-                self._run_window_numpy(
-                    consumers, items, arrays, lo, hi,
-                    self._columnar_plane,
-                )
-            else:
-                self._run_window_python(consumers, stream, lo, hi)
-            if columns_for_centralized:
-                ts = None if ts_column is None else ts_column[lo:hi]
-                for instance in centralized:
-                    instance.observe_columns(
-                        arrays[2][lo:hi], arrays[1][lo:hi], ts
+        with span:
+            for lo, hi in batch_windows(
+                n, self.batch_size, self.initial_batch_size, marks
+            ):
+                if arrays is not None:
+                    self._run_window_numpy(
+                        consumers, items, arrays, lo, hi,
+                        self._columnar_plane,
+                        timings,
                     )
-            elif centralized:
-                window_items = items[lo:hi]
-                for instance in centralized:
-                    instance.observe_items(window_items)
-            for network in networks:
-                network.items_processed += hi - lo
-            self.items_processed += hi - lo
-            if hi in mark_set:
-                snapshots.append((base + hi, self.answers()))
+                else:
+                    self._run_window_python(
+                        consumers, stream, lo, hi, timings
+                    )
+                if columns_for_centralized:
+                    ts = None if ts_column is None else ts_column[lo:hi]
+                    for instance in centralized:
+                        instance.observe_columns(
+                            arrays[2][lo:hi], arrays[1][lo:hi], ts
+                        )
+                elif centralized:
+                    window_items = items[lo:hi]
+                    for instance in centralized:
+                        instance.observe_items(window_items)
+                for network in networks:
+                    network.items_processed += hi - lo
+                self.items_processed += hi - lo
+                if hi in mark_set:
+                    snapshots.append((base + hi, self.answers()))
+        if timings is not None:
+            self._export_run(consumers, timings, n)
         return MultiQueryResult(
             answers=self.answers(),
             counters=self.counters(),
@@ -585,6 +609,7 @@ class MultiQueryDriver:
         lo: int,
         hi: int,
         columnar: bool = False,
+        timings: Optional[List[float]] = None,
     ) -> None:
         """One argsort groups the window for *every* query's sites."""
         assignment, weights, idents = arrays
@@ -596,16 +621,67 @@ class MultiQueryDriver:
                 weights[positions],
                 idents[positions] if columnar and idents is not None else None,
             )
-            for consumer in consumers:
-                consumer.site_batch(site_id, batch)
+            if timings is None:
+                for consumer in consumers:
+                    consumer.site_batch(site_id, batch)
+            else:
+                for index, consumer in enumerate(consumers):
+                    t0 = time.perf_counter()
+                    consumer.site_batch(site_id, batch)
+                    timings[index] += time.perf_counter() - t0
 
     @staticmethod
     def _run_window_python(
-        consumers: List[object], stream: DistributedStream, lo: int, hi: int
+        consumers: List[object],
+        stream: DistributedStream,
+        lo: int,
+        hi: int,
+        timings: Optional[List[float]] = None,
     ) -> None:
         """Numpy-free fallback, sharing the engine's bucketing."""
         for site_id, batch in site_buckets(
             stream.assignment, stream.items, lo, hi
         ):
-            for consumer in consumers:
-                consumer.site_batch(site_id, batch)
+            if timings is None:
+                for consumer in consumers:
+                    consumer.site_batch(site_id, batch)
+            else:
+                for index, consumer in enumerate(consumers):
+                    t0 = time.perf_counter()
+                    consumer.site_batch(site_id, batch)
+                    timings[index] += time.perf_counter() - t0
+
+    def _export_run(self, consumers, timings, items: int) -> None:
+        """Export one run's driver telemetry (live registry only)."""
+        registry = self.registry
+        fold = registry.counter(
+            "repro_query_fold_seconds_total",
+            "per-query seconds in the shared site-pass/fold loop "
+            "(fused groups are labeled name1+name2+...)",
+            labels=("query",),
+        )
+        for consumer, seconds in zip(consumers, timings):
+            if isinstance(consumer, _FusedSworGroup):
+                label = "+".join(m.name for m in consumer.members)
+            else:
+                label = consumer.instance.name
+            fold.labels(query=label).inc(seconds)
+        registry.counter(
+            "repro_driver_runs_total", "completed MultiQueryDriver runs"
+        ).inc()
+        registry.counter(
+            "repro_driver_items_total",
+            "stream arrivals replayed through the shared pass",
+        ).inc(items)
+        messages = registry.gauge(
+            "repro_query_messages",
+            "cumulative protocol messages per network-backed query",
+            labels=("query", "direction"),
+        )
+        for name, counters in self.counters().items():
+            messages.labels(query=name, direction="upstream").set(
+                counters.upstream
+            )
+            messages.labels(query=name, direction="downstream").set(
+                counters.downstream
+            )

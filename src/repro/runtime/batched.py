@@ -43,6 +43,7 @@ consumption, same delivery interleaving).
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Sequence
 
 try:  # numpy accelerates grouping and key generation; gated, not required
@@ -259,6 +260,8 @@ class BatchedEngine(Engine):
         )
         mark_set = set(marks)
         arrays = stream.arrays()
+        t0 = time.perf_counter()
+        windows = 0
         for lo, hi in batch_windows(
             n, self.batch_size, self.initial_batch_size, marks
         ):
@@ -266,12 +269,14 @@ class BatchedEngine(Engine):
                 self._run_window_numpy(network, items, arrays, lo, hi)
             else:
                 self._run_window_python(network, stream, lo, hi)
+            windows += 1
             network.items_processed += hi - lo
             t = network.items_processed
             if on_step is not None:
                 on_step(t)
             if hi in mark_set:
                 on_checkpoint(t)
+        self._record_run(network, n, time.perf_counter() - t0, windows=windows)
         return network.counters
 
     # -- one batch window ----------------------------------------------

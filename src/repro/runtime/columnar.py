@@ -50,6 +50,7 @@ single numpy-free source of truth.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Callable, Iterable, List, Optional
 
 try:  # the fast path is numpy-only; gated, not required
@@ -130,9 +131,12 @@ class ColumnarEngine(BatchedEngine):
                 for s in sites
             )
         )
+        t0 = time.perf_counter()
+        windows = 0
         for lo, hi in batch_windows(
             n, self.batch_size, self.initial_batch_size, marks
         ):
+            windows += 1
             order, sites_sorted, run_starts, run_ends = window_order(
                 assignment[lo:hi]
             )
@@ -165,4 +169,5 @@ class ColumnarEngine(BatchedEngine):
                 on_step(t)
             if hi in mark_set:
                 on_checkpoint(t)
+        self._record_run(network, n, time.perf_counter() - t0, windows=windows)
         return network.counters

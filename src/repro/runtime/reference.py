@@ -15,6 +15,7 @@ is what :class:`~repro.runtime.batched.BatchedEngine` removes.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
 from .base import Engine
@@ -41,11 +42,15 @@ class ReferenceEngine(Engine):
         on_checkpoint: Optional[Callable[[int], None]] = None,
     ) -> "MessageCounters":
         checkset = set(checkpoints) if checkpoints is not None else None
+        t0 = time.perf_counter()
+        processed = 0
         for site_id, item in stream:
             network.step(site_id, item)
+            processed += 1
             t = network.items_processed
             if on_step is not None:
                 on_step(t)
             if checkset is not None and on_checkpoint is not None and t in checkset:
                 on_checkpoint(t)
+        self._record_run(network, processed, time.perf_counter() - t0)
         return network.counters

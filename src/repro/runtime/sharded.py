@@ -147,6 +147,11 @@ except ImportError:  # pragma: no cover - platform-dependent
 
 from ..common.errors import ConfigurationError, ProtocolViolationError
 from ..net.messages import MessagePack
+from ..obs import (
+    WORKER_METRIC_NAMES,
+    merge_worker_deltas,
+    observe_sharded_stats,
+)
 from .batched import (
     DEFAULT_BATCH_SIZE,
     DEFAULT_INITIAL_BATCH_SIZE,
@@ -309,6 +314,27 @@ class _WorkerShard:
                 payload["marks"],
             )
         )
+        #: Telemetry deltas accumulated between sends (``None`` when the
+        #: parent's registry is disabled — every message then keeps the
+        #: exact wire shape of an uninstrumented build).
+        self.metrics = (
+            dict.fromkeys(WORKER_METRIC_NAMES, 0.0)
+            if payload.get("metrics")
+            else None
+        )
+
+    def drain_metrics(self):
+        """Return-and-reset the accumulated telemetry as the flat
+        :data:`~repro.obs.WORKER_METRIC_NAMES`-ordered value vector
+        (``None`` when metrics are disabled) — the column the worker
+        appends to its result messages."""
+        metrics = self.metrics
+        if metrics is None:
+            return None
+        values = tuple(metrics.values())
+        for key in metrics:
+            metrics[key] = 0.0
+        return values
 
     def compute_window(
         self,
@@ -335,6 +361,11 @@ class _WorkerShard:
         i0, i1 = self.view.window_bounds(lo, hi)
         if i0 == i1:
             return []
+        metrics = self.metrics
+        if metrics is not None:
+            t_start = time.perf_counter()
+            if min_site is None:
+                metrics["windows"] += 1
         site_ids, starts, ends, idents_sorted, weights_sorted = (
             self.view.window_order(i0, i1)
         )
@@ -368,6 +399,8 @@ class _WorkerShard:
             descriptor = self._encode(site_id, result)
             if descriptor is not None:
                 out.append(descriptor)
+        if metrics is not None:
+            metrics["compute_seconds"] += time.perf_counter() - t_start
         return out
 
     def _encode(self, site_id: int, result):
@@ -379,15 +412,21 @@ class _WorkerShard:
         pickled message lists, materialized here because a lazy
         iterator cannot cross the process boundary.
         """
+        metrics = self.metrics
         if isinstance(result, MessagePack):
             if len(result) == 0:
                 return None
+            if metrics is not None:
+                metrics["packs"] += 1
+                metrics["pack_entries"] += len(result)
             if self.ring is not None:
                 encoded = result.write_into(
                     self.ring_view, self.ring_off, self.ring_limit
                 )
                 if encoded is not None:
                     kind, spec, end = encoded
+                    if metrics is not None:
+                        metrics["ring_bytes"] += end - self.ring_off
                     self.ring_off = end
                     return (site_id, "p", kind, spec)
             kind, columns = result.to_arrays()
@@ -395,6 +434,9 @@ class _WorkerShard:
         messages = list(result)
         if not messages:
             return None
+        if metrics is not None:
+            metrics["packs"] += 1
+            metrics["pack_entries"] += len(messages)
         return (site_id, "m", messages)
 
     def close(self) -> None:
@@ -450,6 +492,8 @@ def _apply_roll(
     ``applied`` are the window's pre-compute state and per-site control
     cursor, mutated in place across repeated rolls of the same window.
     """
+    if shard.metrics is not None:
+        shard.metrics["rolls_served"] += 1
     if snapshot is None:
         # No arrivals this window: nothing to replay, just advance
         # each site's control prefix incrementally.
@@ -494,13 +538,13 @@ def _apply_roll(
 
 
 def _send_state(shard: _WorkerShard, conn) -> None:
-    conn.send(
-        (
-            "sta",
-            shard.site_lo,
-            pickle.dumps(shard.sites, protocol=pickle.HIGHEST_PROTOCOL),
-        )
-    )
+    pickled = pickle.dumps(shard.sites, protocol=pickle.HIGHEST_PROTOCOL)
+    if shard.metrics is None:
+        conn.send(("sta", shard.site_lo, pickled))
+    else:
+        # Leftover telemetry (post-commit work since the last result
+        # send) rides with the final state message.
+        conn.send(("sta", shard.site_lo, pickled, shard.drain_metrics()))
 
 
 def _worker_run(shard: _WorkerShard, conn) -> None:
@@ -520,9 +564,14 @@ def _worker_run(shard: _WorkerShard, conn) -> None:
         # Skipped when the shard has no arrivals (nothing mutates);
         # controls are then applied incrementally instead.
         snapshot = _snapshot_sites(shard.sites) if i0 != i1 else None
+        if snapshot is not None and shard.metrics is not None:
+            shard.metrics["snapshots"] += 1
         results = shard.compute_window(lo, hi)
         applied = [0] * len(shard.sites)
-        conn.send(("res", results))
+        if shard.metrics is None:
+            conn.send(("res", results))
+        else:
+            conn.send(("res", results, shard.drain_metrics()))
         while True:
             message = conn.recv()
             tag = message[0]
@@ -534,7 +583,10 @@ def _worker_run(shard: _WorkerShard, conn) -> None:
                 replacements = _apply_roll(
                     shard, lo, hi, snapshot, applied, from_site, controls
                 )
-                conn.send(("res", replacements))
+                if shard.metrics is None:
+                    conn.send(("res", replacements))
+                else:
+                    conn.send(("res", replacements, shard.drain_metrics()))
                 continue
             raise ProtocolViolationError(
                 f"shard worker got unexpected command {tag!r}"
@@ -600,9 +652,17 @@ def _worker_run_pipelined(shard: _WorkerShard, conn) -> None:
             lo, hi = windows[nxt]
             i0, i1 = shard.view.window_bounds(lo, hi)
             snapshot = _snapshot_sites(shard.sites) if i0 != i1 else None
+            if snapshot is not None and shard.metrics is not None:
+                shard.metrics["snapshots"] += 1
             t0 = time.perf_counter()
             results = shard.compute_window(lo, hi, slot=nxt % 2)
-            conn.send(("res", nxt, results, time.perf_counter() - t0))
+            elapsed = time.perf_counter() - t0
+            if shard.metrics is None:
+                conn.send(("res", nxt, results, elapsed))
+            else:
+                conn.send(
+                    ("res", nxt, results, elapsed, shard.drain_metrics())
+                )
             entries.append(_SpecWindow(nxt, lo, hi, snapshot, num_sites))
             nxt += 1
         message = conn.recv()
@@ -630,6 +690,8 @@ def _worker_run_pipelined(shard: _WorkerShard, conn) -> None:
                     if spec.snapshot is not None:
                         _restore_sites(shard, spec.snapshot)
                     nxt = spec.t
+                    if shard.metrics is not None:
+                        shard.metrics["spec_recomputes"] += 1
                 _apply_commit(shard, head.applied, controls)
         elif tag == "roll":
             from_site, controls = message[2], message[3]
@@ -639,6 +701,8 @@ def _worker_run_pipelined(shard: _WorkerShard, conn) -> None:
                 if spec.snapshot is not None:
                     _restore_sites(shard, spec.snapshot)
                 nxt = spec.t
+                if shard.metrics is not None:
+                    shard.metrics["spec_recomputes"] += 1
             head.rolled = True
             replacements = _apply_roll(
                 shard,
@@ -650,7 +714,12 @@ def _worker_run_pipelined(shard: _WorkerShard, conn) -> None:
                 controls,
                 slot=head.t % 2,
             )
-            conn.send(("rep", head.t, replacements))
+            if shard.metrics is None:
+                conn.send(("rep", head.t, replacements))
+            else:
+                conn.send(
+                    ("rep", head.t, replacements, shard.drain_metrics())
+                )
         else:
             raise ProtocolViolationError(
                 f"shard worker got unexpected command {tag!r}"
@@ -743,7 +812,7 @@ class _Inbox:
     (the worker's recompute follows the ack in the pipe).
     """
 
-    __slots__ = ("handle", "res", "secs", "acks", "reps")
+    __slots__ = ("handle", "res", "secs", "acks", "reps", "deltas")
 
     def __init__(self, handle: _WorkerHandle) -> None:
         self.handle = handle
@@ -751,6 +820,7 @@ class _Inbox:
         self.secs: dict = {}  # window -> worker compute seconds
         self.acks: dict = {}  # window -> speculation hit?
         self.reps: dict = {}  # window -> rollback replacements
+        self.deltas: list = []  # telemetry columns, merged at commit
 
 
 def _unlink_segments(shms) -> None:
@@ -887,6 +957,7 @@ class ShardedEngine(ColumnarEngine):
         checkpoints: Optional[Iterable[int]] = None,
         on_checkpoint: Optional[Callable[[int], None]] = None,
     ) -> "MessageCounters":
+        t_run = time.perf_counter()
         if checkpoints is not None:
             # Materialize once: marks are computed here AND the
             # fallback engine iterates again — a one-shot iterator must
@@ -927,6 +998,12 @@ class ShardedEngine(ColumnarEngine):
                 reason = f"worker setup failed: {exc!r}"
         if reason is not None:
             self.last_run_stats = {"mode": "fallback", "reason": reason}
+            if self.registry.enabled:
+                self.registry.counter(
+                    "repro_shard_fallbacks_total",
+                    "sharded runs served by the in-process columnar path",
+                    labels=("reason",),
+                ).labels(reason=reason.split(":")[0]).inc()
             return ColumnarEngine.run(
                 self,
                 network,
@@ -944,7 +1021,17 @@ class ShardedEngine(ColumnarEngine):
             counters = run_windows(
                 network, pool, n, marks, set(marks), on_step, on_checkpoint
             )
-            self.last_run_stats["warm_pool"] = warm
+            stats = self.last_run_stats
+            stats["warm_pool"] = warm
+            seconds = time.perf_counter() - t_run
+            stats["engine"] = self.name
+            stats["items"] = n
+            stats["seconds"] = seconds
+            if self.registry.enabled:
+                self._export_run(
+                    network, n, seconds, windows=stats.get("windows")
+                )
+                observe_sharded_stats(self.registry, stats)
             return counters
         except BaseException:
             # The pool's protocol state is unknown after a failure —
@@ -1105,6 +1192,10 @@ class ShardedEngine(ColumnarEngine):
                 "marks": marks,
                 "stream": stream_spec,
                 "pipeline": self._pipelined,
+                # When truthy, workers append a flat telemetry column
+                # (WORKER_METRIC_NAMES order) to result messages; when
+                # falsy the wire shape is untouched.
+                "metrics": bool(self.registry.enabled),
             }
             self._send(handle, ("run", payload))
 
@@ -1126,10 +1217,13 @@ class ShardedEngine(ColumnarEngine):
         for lo, hi in windows:
             t0 = time.perf_counter()
             pending = {}
+            worker_deltas = []
             for handle in handles:
                 message = self._recv(handle)
                 for descriptor in message[1]:
                     pending[descriptor[0]] = (handle, descriptor)
+                if len(message) > 2 and message[2]:
+                    worker_deltas.append((handle.index, message[2]))
             t1 = time.perf_counter()
             controls: List[Tuple[int, int, object]] = []
             order = sorted(pending)
@@ -1159,11 +1253,15 @@ class ShardedEngine(ColumnarEngine):
                             message = self._recv(h)
                             for descriptor in message[1]:
                                 pending[descriptor[0]] = (h, descriptor)
+                            if len(message) > 2 and message[2]:
+                                worker_deltas.append((h.index, message[2]))
                         order = order[: i + 1] + sorted(
                             s for s in pending if s > site_id
                         )
                 i += 1
             controls_total += len(controls)
+            for worker, deltas in worker_deltas:
+                merge_worker_deltas(self.registry, worker, deltas)
             for handle in handles:
                 self._send(handle, ("com", controls))
             t2 = time.perf_counter()
@@ -1192,6 +1290,8 @@ class ShardedEngine(ColumnarEngine):
                     f"shard worker {handle.index} sent {message[0]!r} "
                     "instead of final state"
                 )
+            if len(message) > 3 and message[3]:
+                merge_worker_deltas(self.registry, handle.index, message[3])
             for offset, final in enumerate(pickle.loads(message[2])):
                 _adopt_site_state(network.sites[message[1] + offset], final)
         self.last_run_stats = {
@@ -1223,6 +1323,10 @@ class ShardedEngine(ColumnarEngine):
         if tag == "res":
             inbox.res[message[1]] = message[2]
             inbox.secs[message[1]] = message[3]
+            if len(message) > 4 and message[4]:
+                # Telemetry from stale speculative sends is kept too:
+                # the discarded compute was real work.
+                inbox.deltas.append(message[4])
         elif tag == "ack":
             inbox.acks[message[1]] = message[2]
             if not message[2]:
@@ -1232,6 +1336,8 @@ class ShardedEngine(ColumnarEngine):
                 inbox.secs.pop(message[1] + 1, None)
         elif tag == "rep":
             inbox.reps[message[1]] = message[2]
+            if len(message) > 3 and message[3]:
+                inbox.deltas.append(message[3])
         else:  # pragma: no cover - protocol bug guard
             raise ShardedWorkerError(
                 f"shard worker {inbox.handle.index} sent unexpected {tag!r}"
@@ -1266,6 +1372,13 @@ class ShardedEngine(ColumnarEngine):
                 u, network, handles, inboxes, async_folds, st
             )
             st["controls"] += len(controls)
+            for inbox in inboxes:
+                if inbox.deltas:
+                    for deltas in inbox.deltas:
+                        merge_worker_deltas(
+                            self.registry, inbox.handle.index, deltas
+                        )
+                    inbox.deltas.clear()
             for handle in handles:
                 self._send(handle, ("com", u, controls))
             network.items_processed += hi - lo
@@ -1289,6 +1402,13 @@ class ShardedEngine(ColumnarEngine):
                         f"{message[0]!r} instead of final state"
                     )
                 break
+            for deltas in inbox.deltas:
+                merge_worker_deltas(self.registry, inbox.handle.index, deltas)
+            inbox.deltas.clear()
+            if len(message) > 3 and message[3]:
+                merge_worker_deltas(
+                    self.registry, inbox.handle.index, message[3]
+                )
             for offset, final in enumerate(pickle.loads(message[2])):
                 _adopt_site_state(network.sites[message[1] + offset], final)
         self.last_run_stats = {
@@ -1514,7 +1634,7 @@ class ShardedEngine(ColumnarEngine):
         by ``repro ... --profile --engine sharded``)."""
         stats = self.last_run_stats
         if not stats:
-            return "sharded engine: no run recorded"
+            return "sharded engine: no run recorded yet"
         if stats.get("mode") != "sharded":
             return (
                 f"sharded engine: ran in fallback mode "

@@ -14,12 +14,13 @@ import random
 from repro.core import DistributedWeightedSWOR, SworConfig, level_of
 from repro.net import MessageTrace
 from repro.net.messages import EARLY, EPOCH_UPDATE, LEVEL_SATURATED, REGULAR
+from repro.runtime import ShardedEngine, get_engine
 from repro.stream import round_robin, zipf_stream
 
 
-def _traced_run(k=8, s=8, n=8000, seed=3):
+def _traced_run(k=8, s=8, n=8000, seed=3, engine=None):
     proto = DistributedWeightedSWOR(
-        SworConfig(num_sites=k, sample_size=s), seed=seed
+        SworConfig(num_sites=k, sample_size=s), seed=seed, engine=engine
     )
     trace = MessageTrace.attach(proto.network)
     rng = random.Random(seed)
@@ -108,3 +109,46 @@ class TestTraceApi:
     def test_events_causally_numbered(self):
         proto, trace = _traced_run(n=2000)
         assert [e.seq for e in trace.events] == list(range(len(trace.events)))
+
+
+class TestShardedEngineTracing:
+    """Tracing on the sharded engine: attaching a trace is a promise to
+    see every message in causal order, which the multiprocess fold
+    cannot keep — so the engine detects the wrapped delivery methods
+    and serves the run in-process, with identical traced events."""
+
+    def test_attach_forces_in_process_fallback(self):
+        engine = ShardedEngine(workers=2)
+        try:
+            _proto, trace = _traced_run(n=2000, engine=engine)
+        finally:
+            engine.close()
+        assert engine.last_run_stats["mode"] == "fallback"
+        assert engine.last_run_stats["reason"] == (
+            "network delivery is instrumented"
+        )
+        assert trace.events  # the trace still saw the whole run
+
+    def test_trace_identical_to_reference_at_batch_size_one(self):
+        """At batch size 1 the in-process path degenerates to the
+        reference engine's per-item schedule exactly — same events,
+        same causal order."""
+        _ref, ref_trace = _traced_run(n=3000)
+        engine = ShardedEngine(workers=2, batch_size=1)
+        try:
+            _shard, shard_trace = _traced_run(n=3000, engine=engine)
+        finally:
+            engine.close()
+        assert shard_trace.events == ref_trace.events
+
+    def test_trace_identical_to_columnar_at_default_batch(self):
+        """At any batch size the traced (fallback) sharded run replays
+        the columnar engine's schedule event for event."""
+        col, col_trace = _traced_run(n=6000, engine=get_engine("columnar"))
+        engine = ShardedEngine(workers=2)
+        try:
+            shard, shard_trace = _traced_run(n=6000, engine=engine)
+        finally:
+            engine.close()
+        assert shard_trace.events == col_trace.events
+        assert shard.counters.snapshot() == col.counters.snapshot()
