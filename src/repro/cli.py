@@ -17,8 +17,10 @@ catalog of estimation queries concurrently over one shared stream pass
 
 Every subcommand accepts ``--engine {reference,batched,columnar,sharded}``
 (``--batch-size N`` for the batching engines, ``--workers N`` and
-``--pipeline {auto,on,off}`` for the sharded engine) to pick the
-execution runtime; see :mod:`repro.runtime`.
+``--pipeline {auto,on,off}`` for the sharded engine, ``--kernels
+{auto,numba,numpy}`` for the columnar-plane engines — see
+:mod:`repro.kernels`) to pick the execution runtime; see
+:mod:`repro.runtime`.
 Every protocol has a native columnar fast path, so ``--engine columnar``
 is bit-identical to ``batched`` on each subcommand, just faster —
 and ``--engine sharded`` runs the site passes across worker processes,
@@ -129,12 +131,28 @@ def build_parser() -> argparse.ArgumentParser:
             "folds (auto/on) or strict lockstep (off); default: auto",
         )
         p.add_argument(
+            "--kernels",
+            choices=("auto", "numba", "numpy"),
+            default=None,
+            help="kernel backend for --engine columnar/sharded: the "
+            "compiled tier behind the hottest fold and site loops "
+            "(numba when installed, numpy always; bit-identical either "
+            "way; default: the REPRO_KERNELS env var, else auto)",
+        )
+        p.add_argument(
             "--profile",
             action="store_true",
             help="profile the run with cProfile and dump the top 20 "
-            "functions by cumulative time to stderr (plus the sharded "
-            "engine's window/speculation/timing breakdown when --engine "
-            "sharded ran)",
+            "functions to stderr (plus the sharded engine's window/"
+            "speculation/timing breakdown when --engine sharded ran)",
+        )
+        p.add_argument(
+            "--profile-sort",
+            choices=("cumulative", "tottime"),
+            default="cumulative",
+            help="sort order for the profile dumps: cumulative time "
+            "(callers inclusive) or tottime (self time — the view that "
+            "surfaces the hot inner loops); default: cumulative",
         )
         p.add_argument(
             "--profile-out",
@@ -243,6 +261,11 @@ def _check_engine_flags(args: argparse.Namespace) -> None:
         raise SystemExit("--workers requires --engine sharded")
     if args.pipeline is not None and args.engine != "sharded":
         raise SystemExit("--pipeline requires --engine sharded")
+    if args.kernels is not None and args.engine not in (
+        "columnar",
+        "sharded",
+    ):
+        raise SystemExit("--kernels requires --engine columnar or sharded")
 
 
 def _engine_of(args: argparse.Namespace):
@@ -256,6 +279,7 @@ def _engine_of(args: argparse.Namespace):
         batch_size=args.batch_size,
         workers=args.workers,
         pipeline=args.pipeline,
+        kernels=args.kernels,
     )
     args._engine = engine
     if getattr(args, "metrics_out", None) or args.command == "stats":
@@ -441,7 +465,12 @@ def _cmd_query(args: argparse.Namespace) -> str:
         batch_size=args.batch_size,
         registry=registry,
     )
-    result = driver.run(stream)
+    # The driver builds its engines internally (kernels=None), so a
+    # --kernels request scopes the process default around the run.
+    from .kernels import use_kernels
+
+    with use_kernels(args.kernels):
+        result = driver.run(stream)
 
     w = stream.total_weight()
     truths = {
@@ -559,15 +588,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         profiler.enable()
         output = command(args)
         profiler.disable()
+        sort_key = getattr(args, "profile_sort", "cumulative")
         if profile_out:
             with open(profile_out, "w", encoding="utf-8") as fh:
                 pstats.Stats(profiler, stream=fh).sort_stats(
-                    "cumulative"
+                    sort_key
                 ).print_stats()
             print(f"profile written to {profile_out}", file=sys.stderr)
         if getattr(args, "profile", False):
             stats = pstats.Stats(profiler, stream=sys.stderr)
-            stats.sort_stats("cumulative").print_stats(20)
+            stats.sort_stats(sort_key).print_stats(20)
             engine = getattr(args, "_engine", None)
             if hasattr(engine, "format_stats"):
                 print(engine.format_stats(), file=sys.stderr)

@@ -26,6 +26,7 @@ except ImportError:  # pragma: no cover - exercised on numpy-free installs
 
 from ..common.errors import ProtocolViolationError
 from ..common.rng import exponential
+from ..kernels import active as _active_kernels
 from ..net.messages import (
     EARLY,
     EPOCH_UPDATE,
@@ -208,6 +209,7 @@ class SworCoordinator(CoordinatorAlgorithm):
                     break
         nr = pack.num_regular
         surv_ids = surv_ws = surv_keys = None
+        keys = fold = None
         accepted = 0
         if fast and nr:
             threshold = self.sample_set.threshold
@@ -222,17 +224,23 @@ class SworCoordinator(CoordinatorAlgorithm):
                     surv_ids = [ids[i] for i in idx]
                     surv_ws = [ws[i] for i in idx]
                     surv_keys = [keys_list[i] for i in idx]
+                    if self.epochs.would_announce(
+                        self.sample_set.merged_threshold(surv_keys)
+                    ):
+                        fast = False
             else:
-                send = keys > threshold
-                accepted = int(_np.count_nonzero(send))
-                if accepted:
-                    surv_ids = pack.regular_idents[send]
-                    surv_ws = pack.regular_weights[send]
-                    surv_keys = keys[send]
-            if accepted and self.epochs.would_announce(
-                self.sample_set.merged_threshold(surv_keys)
-            ):
-                fast = False
+                # The fused kernel computes the threshold mask, the
+                # merged cut (= merged_threshold), the boundary-tie
+                # count, and the kept-candidate set in one pass.
+                fold = _active_kernels().swor_fold_regulars(
+                    keys,
+                    threshold,
+                    self.sample_set.heap_keys(),
+                    self.sample_set.sample_size,
+                )
+                accepted = len(fold[0])
+                if accepted and self.epochs.would_announce(fold[2]):
+                    fast = False
         if not fast:
             return self._replay_pack(pack, early_items, early_keys, levels_list)
         if ne:
@@ -245,7 +253,12 @@ class SworCoordinator(CoordinatorAlgorithm):
             self.regular_received += nr
             if accepted:
                 self.regular_accepted += accepted
-                self.sample_set.merge_columns(surv_ids, surv_ws, surv_keys)
+                if fold is not None:
+                    self.sample_set.fold_selected(
+                        pack.regular_idents, pack.regular_weights, keys, *fold
+                    )
+                else:
+                    self.sample_set.merge_columns(surv_ids, surv_ws, surv_keys)
                 announce = self.epochs.observe_threshold(self.sample_set.threshold)
                 if announce is not None:  # pragma: no cover - precluded above
                     return [(BROADCAST, Message(EPOCH_UPDATE, (announce,)))]
@@ -289,7 +302,6 @@ class SworCoordinator(CoordinatorAlgorithm):
             return True
         threshold = self.sample_set.threshold
         keys = pack.regular_keys
-        surv_ids = surv_ws = surv_keys = None
         if nr <= 32:  # scalar path: numpy call overhead dwarfs tiny packs
             keys_list = keys.tolist()
             idx = [i for i, k in enumerate(keys_list) if k > threshold]
@@ -300,21 +312,34 @@ class SworCoordinator(CoordinatorAlgorithm):
                 surv_ids = [ids[i] for i in idx]
                 surv_ws = [ws[i] for i in idx]
                 surv_keys = [keys_list[i] for i in idx]
-        else:
-            send = keys > threshold
-            accepted = int(_np.count_nonzero(send))
+                merged_u, ambiguous = self.sample_set.merge_preview(surv_keys)
+                if ambiguous or self.epochs.would_announce(merged_u):
+                    return False
+            self.regular_received += nr
             if accepted:
-                surv_ids = pack.regular_idents[send]
-                surv_ws = pack.regular_weights[send]
-                surv_keys = keys[send]
+                self.regular_accepted += accepted
+                self.sample_set.merge_columns(surv_ids, surv_ws, surv_keys)
+            return True
+        fold = _active_kernels().swor_fold_regulars(
+            keys,
+            threshold,
+            self.sample_set.heap_keys(),
+            self.sample_set.sample_size,
+        )
+        accepted = len(fold[0])
         if accepted:
-            merged_u, ambiguous = self.sample_set.merge_preview(surv_keys)
-            if ambiguous or self.epochs.would_announce(merged_u):
+            ambiguous = (
+                accepted > self.sample_set.sample_size - len(self.sample_set)
+                and fold[3] != 1
+            )
+            if ambiguous or self.epochs.would_announce(fold[2]):
                 return False
         self.regular_received += nr
         if accepted:
             self.regular_accepted += accepted
-            self.sample_set.merge_columns(surv_ids, surv_ws, surv_keys)
+            self.sample_set.fold_selected(
+                pack.regular_idents, pack.regular_weights, keys, *fold
+            )
         return True
 
     def snapshot_state(self):

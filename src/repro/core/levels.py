@@ -26,6 +26,7 @@ except ImportError:  # pragma: no cover - exercised on numpy-free installs
     _np = None  # type: ignore[assignment]
 
 from ..common.errors import ConfigurationError, ProtocolViolationError
+from ..kernels import active as _active_kernels
 from ..stream.item import Item
 
 __all__ = ["level_of", "levels_of_array", "LevelSetManager"]
@@ -54,36 +55,17 @@ def level_of(weight: float, r: float) -> int:
 def levels_of_array(weights, r: float):
     """Vectorized :func:`level_of` over a numpy weight array.
 
-    Applies the same float-edge corrections as the scalar version, but
-    as whole-array passes (each pass almost never needs to repeat, so
-    the loops run O(1) iterations in practice).  Requires numpy.
+    Applies the same float-edge corrections as the scalar version (the
+    backends converge on the exact power-bracket comparisons, so the
+    result is independent of how the initial ``log`` estimate rounded).
+    Dispatches to the active kernel backend (:mod:`repro.kernels`);
+    requires numpy.
     """
     if _np is None:  # pragma: no cover - guarded by callers
         raise ConfigurationError("levels_of_array requires numpy")
     if r < 2.0:
         raise ConfigurationError(f"level base r must be >= 2, got {r}")
-    w = _np.asarray(weights, dtype=_np.float64)
-    bad = ~_np.isfinite(w) | (w <= 0.0)
-    if bad.any():
-        raise ConfigurationError(
-            f"weight must be positive and finite: {float(w[bad][0])}"
-        )
-    levels = _np.zeros(len(w), dtype=_np.int64)
-    big = w >= r
-    if big.any():
-        est = (_np.log(w[big]) / math.log(r)).astype(_np.int64)
-        while True:  # correct log() rounding down across power boundaries
-            low = _np.power(r, est + 1) <= w[big]
-            if not low.any():
-                break
-            est[low] += 1
-        while True:  # ...and rounding up
-            high = (est > 0) & (_np.power(r, est) > w[big])
-            if not high.any():
-                break
-            est[high] -= 1
-        levels[big] = est
-    return levels
+    return _active_kernels().compute_levels(weights, r)
 
 
 class LevelSetManager:

@@ -31,6 +31,7 @@ except ImportError:  # pragma: no cover - exercised on numpy-free installs
     _np = None  # type: ignore[assignment]
 
 from ..common.errors import ConfigurationError
+from ..kernels import active as _active_kernels
 from ..stream.item import Item
 
 __all__ = ["TopKeySample"]
@@ -81,6 +82,14 @@ class TopKeySample:
 
     # -- bulk path (columnar runtime) ----------------------------------
 
+    def heap_keys(self):
+        """The current keys as a float64 column (heap order — every
+        consumer treats it as a multiset).  The kernel-tier fold's view
+        of ``S``; ``len(heap) <= s`` keeps this cheap per pack."""
+        return _np.fromiter(
+            (e[0] for e in self._heap), dtype=_np.float64, count=len(self._heap)
+        )
+
     def merged_threshold(self, keys) -> float:
         """The threshold ``u`` that :meth:`merge_columns` with these
         candidate ``keys`` would leave behind — computed *without*
@@ -101,18 +110,14 @@ class TopKeySample:
         total = len(self._heap) + n
         if total < self.sample_size:
             return 0.0, False
-        old = _np.fromiter(
-            (e[0] for e in self._heap), dtype=_np.float64, count=len(self._heap)
+        cut, at_cut = _active_kernels().merge_cut(
+            self.heap_keys(),
+            _np.asarray(keys, dtype=_np.float64),
+            self.sample_size,
         )
-        merged = _np.concatenate([old, _np.asarray(keys, dtype=_np.float64)])
-        cut_index = total - self.sample_size
-        cut = float(_np.partition(merged, cut_index)[cut_index])
         # The n <= free insertion path never selects a boundary, so a
         # tie is only ambiguous when merge_columns would partition.
-        ambiguous = (
-            n > self.sample_size - len(self._heap)
-            and int((merged == cut).sum()) != 1
-        )
+        ambiguous = n > self.sample_size - len(self._heap) and at_cut != 1
         return cut, ambiguous
 
     def merge_columns(self, idents, weights, keys) -> int:
@@ -148,13 +153,10 @@ class TopKeySample:
             self._sorted = None
             return n
         cand = _np.asarray(keys, dtype=_np.float64)
-        old = _np.fromiter(
-            (e[0] for e in heap), dtype=_np.float64, count=len(heap)
+        cut, at_cut = _active_kernels().merge_cut(
+            self.heap_keys(), cand, self.sample_size
         )
-        merged = _np.concatenate([old, cand])
-        cut_index = len(merged) - self.sample_size
-        cut = float(_np.partition(merged, cut_index)[cut_index])
-        if int((merged == cut).sum()) != 1:
+        if at_cut != 1:
             # Ambiguous boundary — replay the exact per-item semantics.
             self.tie_fallbacks += 1
             kept = 0
@@ -170,6 +172,64 @@ class TopKeySample:
             new_heap.append(
                 (
                     float(cand[i]),
+                    self._counter,
+                    Item(int(idents[i]), float(weights[i])),
+                )
+            )
+            self._counter += 1
+        heapq.heapify(new_heap)
+        self._heap = new_heap
+        self._sorted = None
+        return len(kept_idx)
+
+    def fold_selected(
+        self, idents, weights, keys, surv_idx, kept_idx, cut, at_cut
+    ) -> int:
+        """Commit a fold whose selection the fused kernel
+        (``swor_fold_regulars``) already computed — the same final heap
+        :meth:`merge_columns` would build from the survivor columns,
+        without re-partitioning.
+
+        ``idents``/``weights``/``keys`` are the *full* pack columns;
+        ``surv_idx`` indexes the candidates above the entry threshold,
+        ``kept_idx`` the subset at or above the merged ``cut`` (equal to
+        ``surv_idx`` on the underfull push path), and ``at_cut != 1``
+        routes to the exact sequential tie fallback — entry counters and
+        ``Item`` construction order all match :meth:`merge_columns`.
+        """
+        n = len(surv_idx)
+        if n == 0:
+            return 0
+        heap = self._heap
+        free = self.sample_size - len(heap)
+        if n <= free:
+            for i in surv_idx.tolist():
+                heapq.heappush(
+                    heap,
+                    (
+                        float(keys[i]),
+                        self._counter,
+                        Item(int(idents[i]), float(weights[i])),
+                    ),
+                )
+                self._counter += 1
+            self._sorted = None
+            return n
+        if at_cut != 1:
+            # Ambiguous boundary — replay the exact per-item semantics.
+            self.tie_fallbacks += 1
+            kept = 0
+            for i in surv_idx.tolist():
+                key = float(keys[i])
+                if key > self.threshold:
+                    self.add(Item(int(idents[i]), float(weights[i])), key)
+                    kept += 1
+            return kept
+        new_heap = [e for e in heap if e[0] >= cut]
+        for i in kept_idx.tolist():
+            new_heap.append(
+                (
+                    float(keys[i]),
                     self._counter,
                     Item(int(idents[i]), float(weights[i])),
                 )

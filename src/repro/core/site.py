@@ -28,6 +28,7 @@ except ImportError:  # pragma: no cover - exercised on numpy-free installs
 
 from ..common.errors import ProtocolViolationError
 from ..common.rng import BatchRandom, LazyExponential, exponential
+from ..kernels import active as _active_kernels
 from ..net.messages import (
     EARLY,
     EPOCH_UPDATE,
@@ -198,24 +199,16 @@ class SworSite(SiteAlgorithm):
         lowest_open = 0
         while (mask >> lowest_open) & 1:
             lowest_open += 1
-        if lowest_open == 0:
-            heavy_idx = _np.arange(len(weights))
-        else:
-            heavy_floor = (self._r**lowest_open) * (1.0 - 1e-9)
-            heavy_idx = _np.flatnonzero(weights >= heavy_floor)
-        if len(heavy_idx) == 0:
+        heavy_floor = (
+            0.0
+            if lowest_open == 0
+            else (self._r**lowest_open) * (1.0 - 1e-9)
+        )
+        levels, saturated, early_positions = _active_kernels().window_split(
+            weights, self._r, heavy_floor, self._mask_table()
+        )
+        if len(early_positions) == 0:
             return _WindowPrep(None, mask, None, True)
-        heavy_levels = levels_of_array(weights[heavy_idx], self._r)
-        heavy_saturated = self._saturation_table(int(heavy_levels.max()))[
-            heavy_levels
-        ]
-        if heavy_saturated.all():
-            return _WindowPrep(None, mask, None, True)
-        early_positions = heavy_idx[~heavy_saturated]
-        saturated = _np.ones(len(weights), dtype=_np.bool_)
-        saturated[early_positions] = False
-        levels = _np.zeros(len(weights), dtype=_np.int64)
-        levels[heavy_idx] = heavy_levels
         return _WindowPrep(
             levels, mask, saturated, False, early_positions.tolist()
         )
@@ -245,6 +238,15 @@ class SworSite(SiteAlgorithm):
             self._sat_table_mask = mask
         return table
 
+    def _mask_table(self):
+        """The saturation table sized to cover every set mask bit —
+        the form the ``window_split`` kernel wants (levels beyond the
+        table are unsaturated by construction, since the table spans
+        the mask's bit length)."""
+        return self._saturation_table(
+            max(63, self._saturated_mask.bit_length() - 1)
+        )
+
     def on_columns(self, idents, weights, prep=None):
         """Fully columnar Algorithm 1 over a batch of arrivals.
 
@@ -269,19 +271,14 @@ class SworSite(SiteAlgorithm):
         early_idents = early_weights = early_levels = None
         regular_idents, regular_weights = idents, weights
         if self.config.level_sets_enabled:
-            if prep is not None and prep[0].mask == self._saturated_mask:
+            mask = self._saturated_mask
+            if prep is not None and prep[0].mask == mask:
                 wctx, start, end = prep
                 levels = saturated = None  # sliced lazily below
-            else:
-                wctx = None
-                levels = levels_of_array(weights, self._r)
-            if not self._saturated_mask:
-                # Warm-up: nothing saturated, the whole batch is early
-                # (and, like on_items, no exponentials are drawn).
-                if levels is None:
-                    levels = wctx.levels[start:end]
-                return MessagePack(idents, weights, levels)
-            if wctx is not None:
+                if not mask:
+                    # Warm-up: nothing saturated, the whole batch is
+                    # early (and, like on_items, no exponentials drawn).
+                    return MessagePack(idents, weights, wctx.levels[start:end])
                 if not wctx.all_saturated:
                     # Bisect the window's early-position index: most
                     # sites discover "no earlies in my slice" without
@@ -291,8 +288,22 @@ class SworSite(SiteAlgorithm):
                         positions, end
                     ):
                         saturated = wctx.saturated[start:end]
+            elif not mask:
+                # Warm-up without a shared window context.
+                return MessagePack(
+                    idents, weights, levels_of_array(weights, self._r)
+                )
             else:
-                saturated = self._saturation_table(int(levels.max()))[levels]
+                wctx = None
+                # Fused kernel: exact levels + saturation lookup +
+                # early positions in one pass (floor 0 = every weight).
+                levels, saturated, early_positions = (
+                    _active_kernels().window_split(
+                        weights, self._r, 0.0, self._mask_table()
+                    )
+                )
+                if len(early_positions) == 0:
+                    saturated = None  # nothing early: skip the split
             if saturated is not None and not saturated.all():
                 if levels is None:
                     levels = wctx.levels[start:end]

@@ -34,6 +34,7 @@ except ImportError:  # pragma: no cover - exercised on numpy-free installs
 
 from ..common.errors import ConfigurationError, ProtocolViolationError
 from ..common.rng import BatchRandom, RandomSource, binomial
+from ..kernels import active as _active_kernels
 from ..net.counters import MessageCounters
 from ..net.messages import Message, MessagePack, ROUND_UPDATE, SWR_SAMPLE
 from ..runtime import (
@@ -242,10 +243,11 @@ class _SwrCoordinator(CoordinatorAlgorithm):
     def on_message_pack(self, site_id: int, pack) -> List[Tuple[int, Message]]:
         """Vectorized per-sampler min-key fold of a whole site batch.
 
-        One stable ``np.lexsort`` groups the pack's entries by sampler
-        and finds each sampler's minimum key (first arrival wins ties,
-        as the scalar strict-``<`` update does); ``Item`` objects are
-        built only for the winners.  The fast path commits only when
+        One kernel-tier pass (``swr_min_fold`` — a stable lexsort on
+        the numpy backend, a fused loop on the compiled one) groups the
+        pack's entries by sampler and finds each sampler's minimum key
+        (first arrival wins ties, as the scalar strict-``<`` update
+        does); ``Item`` objects are built only for the winners.  The fast path commits only when
         the folded state provably announces no round — the bracket of
         the folded worst-of-minima is monotone in the (only-decreasing)
         worst, so the final bracket decides whether *any*
@@ -266,15 +268,9 @@ class _SwrCoordinator(CoordinatorAlgorithm):
             return self._replay_pack(site_id, pack)
         samplers = pack.regular_extra
         keys = pack.regular_keys
-        # Stable per-sampler minimum: sort by (sampler, key, arrival) —
-        # each group's head is its min key, earliest arrival on ties.
-        order = _np.lexsort((_np.arange(nr), keys, samplers))
-        sorted_samplers = samplers[order]
-        heads = order[
-            _np.flatnonzero(
-                _np.r_[True, sorted_samplers[1:] != sorted_samplers[:-1]]
-            )
-        ]
+        # Stable per-sampler minimum (kernel-tier): each sampler's head
+        # is its min key, earliest arrival on ties, ascending sampler.
+        heads = _active_kernels().swr_min_fold(samplers, keys, self.sample_size)
         winners = []
         for i in heads.tolist():
             sid = int(samplers[i])

@@ -62,6 +62,7 @@ except ImportError:  # pragma: no cover - exercised on numpy-free installs
 
 from ..common.errors import ConfigurationError, InvalidWeightError
 from ..common.rng import exponential
+from ..kernels import active as _active_kernels
 from ..stream.item import Item
 
 __all__ = ["SlidingWindowWeightedSWOR"]
@@ -71,10 +72,9 @@ __all__ = ["SlidingWindowWeightedSWOR"]
 #: length.
 _INSERT_CHUNK = 8192
 
-#: Block width of the chunk-internal dominator count: within a block
-#: the later-larger counts come from one ``b x b`` comparison table,
-#: across blocks from ranks in the running sorted suffix.
-_RANK_BLOCK = 256
+# The chunk-internal dominator count lives in the kernel tier
+# (``repro.kernels``): block-table prefix ranks on the numpy backend,
+# a Fenwick tree on the compiled one — exact counts either way.
 
 
 class _Entry:
@@ -271,21 +271,11 @@ class SlidingWindowWeightedSWOR:
                 entry.dominators += inc
                 if entry.dominators < s:
                     survivors.append(entry)
-        # Chunk-internal dominators: process blocks back to front; an
-        # arrival's count is its later-larger count within its block
-        # (b x b table) plus its rank deficit in the sorted suffix of
-        # all later blocks.
-        dominators = _np.zeros(m, dtype=_np.int64)
-        suffix_sorted = keys[:0]
-        for bs in range(((m - 1) // _RANK_BLOCK) * _RANK_BLOCK, -1, -_RANK_BLOCK):
-            block = keys[bs:bs + _RANK_BLOCK]
-            cross = len(suffix_sorted) - _np.searchsorted(
-                suffix_sorted, block, side="right"
-            )
-            later = block[None, :] > block[:, None]
-            within = _np.triu(later, k=1).sum(axis=1)
-            dominators[bs:bs + _RANK_BLOCK] = cross + within
-            suffix_sorted = _np.sort(_np.concatenate([block, suffix_sorted]))
+        # Chunk-internal dominators (kernel-tier): exact integer counts
+        # of strictly-later strictly-larger keys — block-table prefix
+        # ranks on the numpy backend, a Fenwick tree over searchsorted
+        # ranks on the compiled one; identical by exactness.
+        dominators = _active_kernels().window_dominators(keys)
         self.items_seen += m
         for i in _np.flatnonzero(dominators < s).tolist():
             entry = _Entry(

@@ -65,6 +65,7 @@ def get_engine(
     batch_size: Optional[int] = None,
     workers: Optional[int] = None,
     pipeline: Optional[str] = None,
+    kernels: Optional[str] = None,
 ) -> Engine:
     """Resolve an engine from a name, an instance, or ``None``.
 
@@ -84,6 +85,10 @@ def get_engine(
         ``"auto"`` / ``"on"`` / ``"off"`` — the sharded engine's
         pipelined window protocol; rejected for engines that do not
         shard.
+    kernels:
+        ``"auto"`` / ``"numba"`` / ``"numpy"`` — the kernel backend for
+        the columnar-plane engines (see :mod:`repro.kernels`); rejected
+        for engines without a columnar data plane.
     """
     if isinstance(spec, Engine):
         if batch_size is not None:
@@ -97,6 +102,10 @@ def get_engine(
         if pipeline is not None:
             raise ConfigurationError(
                 "pipeline cannot be combined with an engine instance"
+            )
+        if kernels is not None:
+            raise ConfigurationError(
+                "kernels cannot be combined with an engine instance"
             )
         return spec
     name = "reference" if spec is None else str(spec)
@@ -123,4 +132,10 @@ def get_engine(
                 f"engine {name!r} does not take a pipeline mode"
             )
         kwargs["pipeline"] = pipeline
+    if kernels is not None:
+        if not issubclass(cls, ColumnarEngine):
+            raise ConfigurationError(
+                f"engine {name!r} does not take a kernel backend"
+            )
+        kwargs["kernels"] = kernels
     return cls(**kwargs)

@@ -58,8 +58,15 @@ try:  # the fast path is numpy-only; gated, not required
 except ImportError:  # pragma: no cover - exercised on numpy-free installs
     _np = None  # type: ignore[assignment]
 
+from ..kernels import get_kernels, use_kernels
 from ..net.messages import MessagePack
-from .batched import BatchedEngine, batch_windows, window_order
+from .batched import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_INITIAL_BATCH_SIZE,
+    BatchedEngine,
+    batch_windows,
+    window_order,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
     from ..net.counters import MessageCounters
@@ -82,7 +89,41 @@ class ColumnarEngine(BatchedEngine):
 
     name = "columnar"
 
+    def __init__(
+        self,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        initial_batch_size: int = DEFAULT_INITIAL_BATCH_SIZE,
+        kernels=None,
+    ) -> None:
+        super().__init__(
+            batch_size=batch_size, initial_batch_size=initial_batch_size
+        )
+        #: Kernel-backend override for this engine's runs (``None`` =
+        #: the process default, i.e. ``REPRO_KERNELS`` / ``"auto"``).
+        #: Resolved eagerly so a bad spec fails at construction.
+        self._kernels = None if kernels is None else get_kernels(kernels)
+
     def run(
+        self,
+        network: "Network",
+        stream,
+        on_step: Optional[Callable[[int], None]] = None,
+        checkpoints: Optional[Iterable[int]] = None,
+        on_checkpoint: Optional[Callable[[int], None]] = None,
+    ) -> "MessageCounters":
+        with use_kernels(self._kernels) as kernels:
+            counters = self._run_columnar(
+                network,
+                stream,
+                on_step=on_step,
+                checkpoints=checkpoints,
+                on_checkpoint=on_checkpoint,
+            )
+        if self.last_run_stats:
+            self.last_run_stats.setdefault("kernels", kernels.name)
+        return counters
+
+    def _run_columnar(
         self,
         network: "Network",
         stream,

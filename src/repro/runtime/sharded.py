@@ -146,6 +146,8 @@ except ImportError:  # pragma: no cover - platform-dependent
     _shared_memory = None  # type: ignore[assignment]
 
 from ..common.errors import ConfigurationError, ProtocolViolationError
+from ..kernels import active as _active_kernels
+from ..kernels import set_default_kernels, use_kernels
 from ..net.messages import MessagePack
 from ..obs import (
     WORKER_METRIC_NAMES,
@@ -278,6 +280,7 @@ class _WorkerShard:
     """
 
     def __init__(self, payload, ring, slot_bytes, stream_cache) -> None:
+        set_default_kernels(payload.get("kernels", "auto"), strict=False)
         self.site_lo: int = payload["site_lo"]
         self.site_hi: int = payload["site_hi"]
         self.sites: List = payload["sites"]
@@ -901,9 +904,12 @@ class ShardedEngine(ColumnarEngine):
         workers: Optional[int] = None,
         transport: str = "auto",
         pipeline: str = "auto",
+        kernels=None,
     ) -> None:
         super().__init__(
-            batch_size=batch_size, initial_batch_size=initial_batch_size
+            batch_size=batch_size,
+            initial_batch_size=initial_batch_size,
+            kernels=kernels,
         )
         if workers is None:
             workers = os.cpu_count() or 1
@@ -950,6 +956,26 @@ class ShardedEngine(ColumnarEngine):
     # -- top level ------------------------------------------------------
 
     def run(
+        self,
+        network: "Network",
+        stream,
+        on_step: Optional[Callable[[int], None]] = None,
+        checkpoints: Optional[Iterable[int]] = None,
+        on_checkpoint: Optional[Callable[[int], None]] = None,
+    ) -> "MessageCounters":
+        with use_kernels(self._kernels) as kernels:
+            counters = self._run_sharded(
+                network,
+                stream,
+                on_step=on_step,
+                checkpoints=checkpoints,
+                on_checkpoint=on_checkpoint,
+            )
+        if self.last_run_stats:
+            self.last_run_stats.setdefault("kernels", kernels.name)
+        return counters
+
+    def _run_sharded(
         self,
         network: "Network",
         stream,
@@ -1192,6 +1218,11 @@ class ShardedEngine(ColumnarEngine):
                 "marks": marks,
                 "stream": stream_spec,
                 "pipeline": self._pipelined,
+                # The parent's resolved kernel backend by name; workers
+                # re-resolve with strict=False so a backend the worker
+                # interpreter cannot import degrades to auto, not a
+                # crash (the numpy tier is bit-identical anyway).
+                "kernels": _active_kernels().name,
                 # When truthy, workers append a flat telemetry column
                 # (WORKER_METRIC_NAMES order) to result messages; when
                 # falsy the wire shape is untouched.
@@ -1672,6 +1703,8 @@ class ShardedEngine(ColumnarEngine):
                 if key in timing:
                     parts.append(f"{label} {timing[key]:.3f}s")
             lines.append("  time: " + ", ".join(parts))
+        if "kernels" in stats:
+            lines.append(f"  kernels: {stats['kernels']} backend")
         return "\n".join(lines)
 
     @staticmethod
