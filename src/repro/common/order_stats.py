@@ -127,7 +127,7 @@ def sample_kth_key_nagaraja(
         raise ConfigurationError("anti_rank_prefix must name at least D(1)")
     acc = 0.0
     removed = 0.0
-    for j, d in enumerate(anti_rank_prefix):
+    for d in anti_rank_prefix:
         denom = total - removed
         if denom <= 0:
             raise ConfigurationError("anti-rank prefix removes all weight")

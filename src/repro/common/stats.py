@@ -88,7 +88,9 @@ def empirical_inclusion_frequencies(
     trials = 0
     for sample in samples:
         trials += 1
-        for item in set(sample):
+        # dict.fromkeys dedupes in first-appearance order, so the
+        # returned frequency table's order is input- not hash-dependent.
+        for item in dict.fromkeys(sample):
             counts[item] += 1
     if trials == 0:
         raise ConfigurationError("no trials supplied")

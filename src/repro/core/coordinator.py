@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 try:  # optional: the bulk pack path (packs only exist with numpy)
     import numpy as _np
@@ -91,15 +91,16 @@ class SworCoordinator(CoordinatorAlgorithm):
             raise ProtocolViolationError(
                 "early message received but level sets are disabled"
             )
-        try:
-            # Batch drivers attach the (item, level) this handler would
-            # otherwise rebuild from the payload — the level is equal by
-            # definition to level_of(weight, r), the item to
-            # Item(*payload); the memo is just cheaper, and shared
-            # across every query of a multi-query pass.
-            item, level = message.early_hint
+        # Batch drivers attach the (item, level) this handler would
+        # otherwise rebuild from the payload — the level is equal by
+        # definition to level_of(weight, r), the item to Item(*payload);
+        # the memo is just cheaper, and shared across every query of a
+        # multi-query pass.  (The slot is unset outside batch paths.)
+        hint = getattr(message, "early_hint", None)
+        if hint is not None:
+            item, level = hint
             weight = item.weight
-        except AttributeError:
+        else:
             ident, weight = message.payload
             item = Item(ident, weight)
             level = level_of(weight, self._r)
@@ -147,7 +148,7 @@ class SworCoordinator(CoordinatorAlgorithm):
 
     # -- bulk path: one pack per (site, batch) --------------------------
 
-    def on_message_pack(self, site_id: int, pack) -> List[Tuple[int, Message]]:
+    def on_message_pack(self, site_id: int, pack: Any) -> List[Tuple[int, Message]]:
         """Columnar Algorithms 2-3 over a whole site batch.
 
         Early keys are drawn first, in delivery order, with exactly the
@@ -176,7 +177,7 @@ class SworCoordinator(CoordinatorAlgorithm):
         ne = pack.num_early
         early_keys: List[float] = []
         levels_list: List[int] = []
-        early_items = None
+        early_items: Any = None
         if ne:
             if not self.config.level_sets_enabled:
                 raise ProtocolViolationError(
@@ -199,7 +200,7 @@ class SworCoordinator(CoordinatorAlgorithm):
                     Item(ids[i], weights_list[i]) for i in range(ne)
                 ]
         fast = True
-        grouped: dict = {}
+        grouped: Dict[int, List[int]] = {}
         if ne:
             for i in range(ne):
                 grouped.setdefault(levels_list[i], []).append(i)
@@ -208,8 +209,11 @@ class SworCoordinator(CoordinatorAlgorithm):
                     fast = False
                     break
         nr = pack.num_regular
-        surv_ids = surv_ws = surv_keys = None
-        keys = fold = None
+        surv_ids: Any = None
+        surv_ws: Any = None
+        surv_keys: Any = None
+        keys: Any = None
+        fold: Any = None
         accepted = 0
         if fast and nr:
             threshold = self.sample_set.threshold
@@ -264,7 +268,7 @@ class SworCoordinator(CoordinatorAlgorithm):
                     return [(BROADCAST, Message(EPOCH_UPDATE, (announce,)))]
         return []
 
-    def on_message_pack_unordered(self, site_id: int, pack) -> bool:
+    def on_message_pack_unordered(self, site_id: int, pack: Any) -> bool:
         """Commit a pack out of (batch, site) order when that is
         provably order-invariant; return whether it was committed.
 
@@ -342,7 +346,7 @@ class SworCoordinator(CoordinatorAlgorithm):
             )
         return True
 
-    def snapshot_state(self):
+    def snapshot_state(self) -> tuple:
         """Window-boundary snapshot for the pipelined sharded engine.
 
         Captures everything the message handlers can mutate — the
@@ -361,7 +365,7 @@ class SworCoordinator(CoordinatorAlgorithm):
             self.early_for_saturated,
         )
 
-    def restore_state(self, state) -> None:
+    def restore_state(self, state: tuple) -> None:
         (
             rng_state,
             sample_state,
@@ -383,8 +387,8 @@ class SworCoordinator(CoordinatorAlgorithm):
 
     def _replay_pack(
         self,
-        pack,
-        early_items,
+        pack: Any,
+        early_items: Any,
         early_keys: List[float],
         levels_list: List[int],
     ) -> List[Tuple[int, Message]]:

@@ -12,7 +12,7 @@ monotonically; Proposition 5 bounds their expected number by
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Optional, Tuple
 
 from ..common.errors import ConfigurationError
 
@@ -53,11 +53,11 @@ class EpochTracker:
         new_epoch = self._epoch_of(u, self.r)
         return new_epoch is not None and new_epoch != self._epoch
 
-    def snapshot_state(self):
+    def snapshot_state(self) -> Tuple[Optional[int], int]:
         """Rewind point for the pipelined sharded engine."""
         return (self._epoch, self.broadcasts)
 
-    def restore_state(self, state) -> None:
+    def restore_state(self, state: Tuple[Optional[int], int]) -> None:
         self._epoch, self.broadcasts = state
 
     def observe_threshold(self, u: float) -> Optional[float]:

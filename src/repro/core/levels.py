@@ -18,7 +18,7 @@ the key-concentration bound (Proposition 3).
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 try:  # optional: vectorized level computation for the batched fast path
     import numpy as _np
@@ -28,6 +28,12 @@ except ImportError:  # pragma: no cover - exercised on numpy-free installs
 from ..common.errors import ConfigurationError, ProtocolViolationError
 from ..kernels import active as _active_kernels
 from ..stream.item import Item
+
+#: What :meth:`LevelSetManager.snapshot_state` returns: pending
+#: buckets, saturated levels, and the two counters.
+LevelSnapshot = Tuple[
+    Dict[int, List[Tuple["Item", float]]], Set[int], int, int
+]
 
 __all__ = ["level_of", "levels_of_array", "LevelSetManager"]
 
@@ -52,7 +58,7 @@ def level_of(weight: float, r: float) -> int:
     return j
 
 
-def levels_of_array(weights, r: float):
+def levels_of_array(weights: _np.ndarray, r: float) -> _np.ndarray:
     """Vectorized :func:`level_of` over a numpy weight array.
 
     Applies the same float-edge corrections as the scalar version (the
@@ -93,7 +99,7 @@ class LevelSetManager:
         self.r = r
         self.saturation_size = saturation_size
         self._pending: Dict[int, List[Tuple[Item, float]]] = {}
-        self._saturated: set = set()
+        self._saturated: Set[int] = set()
         self.early_items_received = 0
         self.levels_saturated = 0
 
@@ -151,7 +157,7 @@ class LevelSetManager:
         self._pending.setdefault(level, []).extend(entries)
         self.early_items_received += len(entries)
 
-    def snapshot_state(self):
+    def snapshot_state(self) -> "LevelSnapshot":
         """Cheap rewind point: bucket entries are immutable tuples, so
         shallow per-bucket copies suffice.  Bucket *insertion order* is
         part of the state (``pending_entries`` concatenates in dict
@@ -163,7 +169,7 @@ class LevelSetManager:
             self.levels_saturated,
         )
 
-    def restore_state(self, state) -> None:
+    def restore_state(self, state: "LevelSnapshot") -> None:
         pending, saturated, received, saturated_count = state
         self._pending = {level: list(bucket) for level, bucket in pending.items()}
         self._saturated = set(saturated)
@@ -191,5 +197,5 @@ class LevelSetManager:
         )
 
     @property
-    def saturated_levels(self) -> set:
+    def saturated_levels(self) -> Set[int]:
         return set(self._saturated)

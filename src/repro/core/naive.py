@@ -19,7 +19,7 @@ always reach the coordinator), so the comparison isolates message cost.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from ..common.errors import ConfigurationError, ProtocolViolationError
 from ..common.rng import RandomSource, exponential
@@ -80,7 +80,7 @@ class SendEverything:
         )
         self.network = Network(self.sites, self.coordinator)
 
-    def run(self, stream: DistributedStream, **kwargs) -> MessageCounters:
+    def run(self, stream: DistributedStream, **kwargs: Any) -> MessageCounters:
         return self.network.run(stream, **kwargs)
 
     def sample(self) -> List[Item]:
@@ -152,7 +152,7 @@ class PerSiteTopS:
         self.coordinator = _GlobalTopSCoordinator(sample_size)
         self.network = Network(self.sites, self.coordinator)
 
-    def run(self, stream: DistributedStream, **kwargs) -> MessageCounters:
+    def run(self, stream: DistributedStream, **kwargs: Any) -> MessageCounters:
         return self.network.run(stream, **kwargs)
 
     def sample(self) -> List[Item]:

@@ -22,7 +22,7 @@ concurrent queries over one shared stream pass — see
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple, Union
+from typing import Any, List, Optional, Tuple, Union
 
 from ..common.rng import RandomSource
 from ..net.counters import MessageCounters
@@ -77,7 +77,7 @@ class DistributedWeightedSWOR:
         """Feed one arrival at one site (incremental API)."""
         self.network.step(site_id, item)
 
-    def run(self, stream: DistributedStream, **kwargs) -> MessageCounters:
+    def run(self, stream: DistributedStream, **kwargs: Any) -> MessageCounters:
         """Replay a whole distributed stream; returns message counters.
 
         Keyword arguments are forwarded to

@@ -23,7 +23,7 @@ once per mutation epoch and cached — checkpoint-heavy runs used to pay
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 try:  # optional: bulk top-s merge for the columnar runtime
     import numpy as _np
@@ -35,6 +35,10 @@ from ..kernels import active as _active_kernels
 from ..stream.item import Item
 
 __all__ = ["TopKeySample"]
+
+#: What :meth:`TopKeySample.snapshot_state` returns: heap entries,
+#: entry counter, tie-fallback count.
+SampleSnapshot = Tuple[List[Tuple[float, int, Item]], int, int]
 
 
 class TopKeySample:
@@ -82,7 +86,7 @@ class TopKeySample:
 
     # -- bulk path (columnar runtime) ----------------------------------
 
-    def heap_keys(self):
+    def heap_keys(self) -> _np.ndarray:
         """The current keys as a float64 column (heap order — every
         consumer treats it as a multiset).  The kernel-tier fold's view
         of ``S``; ``len(heap) <= s`` keeps this cheap per pack."""
@@ -90,7 +94,7 @@ class TopKeySample:
             (e[0] for e in self._heap), dtype=_np.float64, count=len(self._heap)
         )
 
-    def merged_threshold(self, keys) -> float:
+    def merged_threshold(self, keys: Any) -> float:
         """The threshold ``u`` that :meth:`merge_columns` with these
         candidate ``keys`` would leave behind — computed *without*
         mutating, so callers (the coordinator's pack path) can decide
@@ -98,7 +102,7 @@ class TopKeySample:
         """
         return self.merge_preview(keys)[0]
 
-    def merge_preview(self, keys) -> Tuple[float, bool]:
+    def merge_preview(self, keys: Any) -> Tuple[float, bool]:
         """``(threshold, ambiguous)``: what :meth:`merge_columns` with
         these candidate ``keys`` would leave behind, and whether it
         would land on the ambiguous-tie sequential fallback (whose
@@ -120,7 +124,7 @@ class TopKeySample:
         ambiguous = n > self.sample_size - len(self._heap) and at_cut != 1
         return cut, ambiguous
 
-    def merge_columns(self, idents, weights, keys) -> int:
+    def merge_columns(self, idents: Any, weights: Any, keys: Any) -> int:
         """Fold a batch of candidate columns into ``S`` in one rebuild.
 
         Candidates must already be strictly above the current
@@ -183,7 +187,14 @@ class TopKeySample:
         return len(kept_idx)
 
     def fold_selected(
-        self, idents, weights, keys, surv_idx, kept_idx, cut, at_cut
+        self,
+        idents: Any,
+        weights: Any,
+        keys: Any,
+        surv_idx: Any,
+        kept_idx: Any,
+        cut: float,
+        at_cut: int,
     ) -> int:
         """Commit a fold whose selection the fused kernel
         (``swor_fold_regulars``) already computed — the same final heap
@@ -242,12 +253,12 @@ class TopKeySample:
 
     # -- snapshots (pipelined sharded engine) --------------------------
 
-    def snapshot_state(self):
+    def snapshot_state(self) -> SampleSnapshot:
         """Cheap rewind point: heap entries are immutable tuples, so a
         shallow list copy suffices."""
         return (list(self._heap), self._counter, self.tie_fallbacks)
 
-    def restore_state(self, state) -> None:
+    def restore_state(self, state: SampleSnapshot) -> None:
         heap, counter, tie_fallbacks = state
         self._heap = list(heap)
         self._counter = counter

@@ -12,6 +12,13 @@ Per arrival the site does O(1) work:
 Control traffic updates the site's two pieces of state: the saturated-
 level bitmask and the epoch threshold ``u_i`` — together O(1) machine
 words, the paper's optimal site space (Proposition 6).
+
+Snapshot contract: ``snapshot_state()``/``restore_state()`` must cover
+every attribute protocol methods mutate — the sharded engine's
+rollback replays from these snapshots and any uncovered attribute
+breaks bit-parity only on the rare rollback paths.  reprolint rule
+R003 checks this statically; derived caches that rebuild themselves
+are exempted explicitly via ``_SNAPSHOT_EXCLUDE``.
 """
 
 from __future__ import annotations
@@ -19,7 +26,7 @@ from __future__ import annotations
 import math
 import random
 from bisect import bisect_left
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence, Tuple, Union
 
 try:  # optional: the vectorized bulk path of the batched engine
     import numpy as _np
@@ -60,7 +67,12 @@ class _WindowPrep:
     __slots__ = ("levels", "mask", "saturated", "all_saturated", "early_positions")
 
     def __init__(
-        self, levels, mask, saturated, all_saturated, early_positions=None
+        self,
+        levels: Any,
+        mask: int,
+        saturated: Any,
+        all_saturated: bool,
+        early_positions: Optional[List[int]] = None,
     ) -> None:
         self.levels = levels
         self.mask = mask
@@ -84,6 +96,10 @@ class SworSite(SiteAlgorithm):
     rng:
         Site-local randomness (independent across sites).
     """
+
+    #: Derived cache, keyed by ``_saturated_mask`` and rebuilt on any
+    #: mismatch — safe to omit from snapshot/restore (reprolint R003).
+    _SNAPSHOT_EXCLUDE = ("_sat_table", "_sat_table_mask")
 
     def __init__(self, site_id: int, config: SworConfig, rng: random.Random) -> None:
         self.site_id = site_id
@@ -141,7 +157,7 @@ class SworSite(SiteAlgorithm):
             )
         self.items_seen += n
         out: List[Message] = []
-        regular_idx = None
+        regular_idx: Optional[Any] = None
         if self.config.level_sets_enabled:
             levels = levels_of_array(weights, self._r)
             mask = self._saturated_mask
@@ -168,7 +184,7 @@ class SworSite(SiteAlgorithm):
             out.append(Message(REGULAR, (item.ident, item.weight, float(keys[j]))))
         return out
 
-    def prepare_window(self, weights):
+    def prepare_window(self, weights: _np.ndarray) -> "Optional[_WindowPrep]":
         """Shared per-window precomputation for the columnar engine.
 
         Levels and the saturation lookup are pure functions of the
@@ -213,7 +229,7 @@ class SworSite(SiteAlgorithm):
             levels, mask, saturated, False, early_positions.tolist()
         )
 
-    def _saturation_table(self, max_level: int):
+    def _saturation_table(self, max_level: int) -> _np.ndarray:
         """Cached bool table ``table[j] = level j saturated``.
 
         Shared by every bulk path (``on_items``, ``on_columns``,
@@ -238,7 +254,7 @@ class SworSite(SiteAlgorithm):
             self._sat_table_mask = mask
         return table
 
-    def _mask_table(self):
+    def _mask_table(self) -> _np.ndarray:
         """The saturation table sized to cover every set mask bit —
         the form the ``window_split`` kernel wants (levels beyond the
         table are unsaturated by construction, since the table spans
@@ -247,7 +263,12 @@ class SworSite(SiteAlgorithm):
             max(63, self._saturated_mask.bit_length() - 1)
         )
 
-    def on_columns(self, idents, weights, prep=None):
+    def on_columns(
+        self,
+        idents: _np.ndarray,
+        weights: _np.ndarray,
+        prep: Optional[Tuple["_WindowPrep", int, int]] = None,
+    ) -> Union[MessagePack, List[Message], tuple]:
         """Fully columnar Algorithm 1 over a batch of arrivals.
 
         The zero-object counterpart of :meth:`on_items`: identical
@@ -268,13 +289,16 @@ class SworSite(SiteAlgorithm):
                 return ()
             return SiteAlgorithm.on_items(self, items)
         self.items_seen += n
-        early_idents = early_weights = early_levels = None
+        early_idents: Optional[Any] = None
+        early_weights: Optional[Any] = None
+        early_levels: Optional[Any] = None
         regular_idents, regular_weights = idents, weights
         if self.config.level_sets_enabled:
             mask = self._saturated_mask
             if prep is not None and prep[0].mask == mask:
                 wctx, start, end = prep
-                levels = saturated = None  # sliced lazily below
+                levels: Any = None  # sliced lazily below
+                saturated: Any = None
                 if not mask:
                     # Warm-up: nothing saturated, the whole batch is
                     # early (and, like on_items, no exponentials drawn).
@@ -371,6 +395,7 @@ class SworSite(SiteAlgorithm):
             # into ``_rng`` above), so replay re-derives it identically.
             self._batch_rng = None
         else:
+            assert self._batch_rng is not None  # stream predates the snapshot
             self._batch_rng.restore(batch_state[0])
         self._saturated_mask = mask
         self._threshold = threshold

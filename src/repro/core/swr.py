@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Any, List, Optional, Sequence, Tuple, Union
 
 try:  # optional: vectorized bulk paths for the batched/columnar engines
     import numpy as _np
@@ -81,7 +81,7 @@ class _SwrSite(SiteAlgorithm):
             )
         return messages
 
-    def _draw_batch(self, weights):
+    def _draw_batch(self, weights: _np.ndarray) -> Tuple[Any, Optional[Any]]:
         """The bulk draw shared by :meth:`on_items` and
         :meth:`on_columns` — one source, so the two hooks are
         draw-for-draw identical by construction.
@@ -150,7 +150,9 @@ class _SwrSite(SiteAlgorithm):
                 pos += 1
         return out
 
-    def on_columns(self, idents, weights, prep=None):
+    def on_columns(
+        self, idents: _np.ndarray, weights: _np.ndarray, prep: Any = None
+    ) -> Union[MessagePack, List[Message], tuple]:
         """Zero-object counterpart of :meth:`on_items`: identical draws
         (same :meth:`_draw_batch`, same per-sender scalar sampler
         subsets, in the same order) packed into one
@@ -240,7 +242,7 @@ class _SwrCoordinator(CoordinatorAlgorithm):
 
     # -- bulk path: one pack per (site, batch) --------------------------
 
-    def on_message_pack(self, site_id: int, pack) -> List[Tuple[int, Message]]:
+    def on_message_pack(self, site_id: int, pack: Any) -> List[Tuple[int, Message]]:
         """Vectorized per-sampler min-key fold of a whole site batch.
 
         One kernel-tier pass (``swr_min_fold`` — a stable lexsort on
@@ -271,7 +273,7 @@ class _SwrCoordinator(CoordinatorAlgorithm):
         # Stable per-sampler minimum (kernel-tier): each sampler's head
         # is its min key, earliest arrival on ties, ascending sampler.
         heads = _active_kernels().swr_min_fold(samplers, keys, self.sample_size)
-        winners = []
+        winners: List[Tuple[int, int, float]] = []
         for i in heads.tolist():
             sid = int(samplers[i])
             key = float(keys[i])
@@ -305,9 +307,7 @@ class _SwrCoordinator(CoordinatorAlgorithm):
             bracket = self.beta**-j
         return bracket
 
-    def _replay_pack(
-        self, site_id: int, pack
-    ) -> List[Tuple[int, Message]]:
+    def _replay_pack(self, site_id: int, pack: Any) -> List[Tuple[int, Message]]:
         """Exact sequential semantics for packs the fast path declines
         — the interface default's expand-and-replay loop."""
         return CoordinatorAlgorithm.on_message_pack(self, site_id, pack)
@@ -356,7 +356,7 @@ class DistributedWeightedSWR:
         self.coordinator = _SwrCoordinator(sample_size, self.beta)
         self.network = Network(self.sites, self.coordinator)
 
-    def run(self, stream: DistributedStream, **kwargs) -> MessageCounters:
+    def run(self, stream: DistributedStream, **kwargs: Any) -> MessageCounters:
         """Replay a distributed stream; returns message counters."""
         kwargs.setdefault("engine", self.engine)
         return self.network.run(stream, **kwargs)

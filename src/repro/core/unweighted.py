@@ -16,7 +16,7 @@ from __future__ import annotations
 import heapq
 import math
 import random
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Any, List, Optional, Sequence, Tuple, Union
 
 try:  # optional: vectorized bulk path for the batched engine
     import numpy as _np
@@ -43,10 +43,12 @@ __all__ = ["DistributedUnweightedSWOR"]
 class _UnweightedSite(SiteAlgorithm):
     """Site half: forward items whose uniform key beats the bracket."""
 
-    def __init__(self, config: "DistributedUnweightedSWOR", rng: random.Random):
+    def __init__(
+        self, config: "DistributedUnweightedSWOR", rng: random.Random
+    ) -> None:
         self._rng = rng
         self._threshold = 1.0  # keys live in (0,1); start unfiltered
-        self._batch_rng = None
+        self._batch_rng: Optional[BatchRandom] = None
         self.items_seen = 0
 
     def on_item(self, item: Item) -> List[Message]:
@@ -75,7 +77,9 @@ class _UnweightedSite(SiteAlgorithm):
             out.append(Message(REGULAR, (item.ident, item.weight, float(keys[i]))))
         return out
 
-    def on_columns(self, idents, weights, prep=None):
+    def on_columns(
+        self, idents: _np.ndarray, weights: _np.ndarray, prep: Any = None
+    ) -> Union[MessagePack, List[Message], tuple]:
         """Zero-object counterpart of :meth:`on_items`: the identical
         uniform batch draw (same ``BatchRandom``, same order) filtered
         against the same stale-round threshold, but the passers come
@@ -165,7 +169,7 @@ class _UnweightedCoordinator(CoordinatorAlgorithm):
 
     # -- bulk path: one pack per (site, batch) --------------------------
 
-    def on_message_pack(self, site_id: int, pack) -> List[Tuple[int, Message]]:
+    def on_message_pack(self, site_id: int, pack: Any) -> List[Tuple[int, Message]]:
         """Columnar fold of a whole site batch into the top-``s`` heap.
 
         Mirrors :meth:`repro.core.coordinator.SworCoordinator.on_message_pack`:
@@ -234,9 +238,7 @@ class _UnweightedCoordinator(CoordinatorAlgorithm):
         self._heap = new_heap
         return []
 
-    def _replay_pack(
-        self, site_id: int, pack
-    ) -> List[Tuple[int, Message]]:
+    def _replay_pack(self, site_id: int, pack: Any) -> List[Tuple[int, Message]]:
         """Exact sequential semantics for packs the fast path declines
         — the interface default's expand-and-replay loop."""
         return CoordinatorAlgorithm.on_message_pack(self, site_id, pack)
@@ -280,7 +282,7 @@ class DistributedUnweightedSWOR:
         self.coordinator = _UnweightedCoordinator(sample_size, self.r)
         self.network = Network(self.sites, self.coordinator)
 
-    def run(self, stream: DistributedStream, **kwargs) -> MessageCounters:
+    def run(self, stream: DistributedStream, **kwargs: Any) -> MessageCounters:
         """Replay a distributed stream; returns message counters."""
         kwargs.setdefault("engine", self.engine)
         return self.network.run(stream, **kwargs)

@@ -48,7 +48,8 @@ import os
 import time
 import warnings
 from contextlib import contextmanager
-from typing import Dict, List, Optional, Tuple
+from types import ModuleType
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 from ..common.errors import ConfigurationError
 from . import numba_backend, numpy_backend
@@ -91,9 +92,9 @@ ENV_VAR = "REPRO_KERNELS"
 # -- per-(kernel, backend) accounting -----------------------------------
 
 _stats: Dict[Tuple[str, str], List[float]] = {}
-_registry = None
-_calls_family = None
-_seconds_family = None
+_registry: Optional[Any] = None
+_calls_family: Optional[Any] = None
+_seconds_family: Optional[Any] = None
 
 
 def kernel_stats() -> Dict[Tuple[str, str], Tuple[int, float]]:
@@ -109,11 +110,12 @@ def reset_kernel_stats() -> None:
         cell[1] = 0.0
 
 
-def set_kernel_registry(registry) -> None:
+def set_kernel_registry(registry: Optional[Any]) -> None:
     """Attach (or detach, with ``None``/disabled) the live metrics
     registry kernel calls export to.  Called by
     :meth:`repro.runtime.base.Engine.instrument`; last attach wins
     (kernel selection is process-global, so is its telemetry)."""
+    # reprolint: disable=R002 registry attachment is telemetry plumbing, not kernel math
     global _registry, _calls_family, _seconds_family
     if registry is None or not getattr(registry, "enabled", False):
         _registry = _calls_family = _seconds_family = None
@@ -146,7 +148,15 @@ class KernelBackend:
 
     __slots__ = ("name",) + KERNEL_NAMES
 
-    def __init__(self, name: str, module) -> None:
+    name: str
+    swor_fold_regulars: Callable[..., Any]
+    merge_cut: Callable[..., Any]
+    swr_min_fold: Callable[..., Any]
+    window_dominators: Callable[..., Any]
+    compute_levels: Callable[..., Any]
+    window_split: Callable[..., Any]
+
+    def __init__(self, name: str, module: ModuleType) -> None:
         self.name = name
         for kernel_name in KERNEL_NAMES:
             setattr(
@@ -159,11 +169,14 @@ class KernelBackend:
         return f"KernelBackend({self.name!r})"
 
 
-def _timed(kernel_name: str, backend_name: str, fn):
+def _timed(
+    kernel_name: str, backend_name: str, fn: Callable[..., Any]
+) -> Callable[..., Any]:
     cell = _stats.setdefault((kernel_name, backend_name), [0, 0.0])
+    # reprolint: disable=R002 wall-clock here only times the call for obs; kernel outputs never see it
     perf_counter = time.perf_counter
 
-    def call(*args):
+    def call(*args: Any) -> Any:
         t0 = perf_counter()
         out = fn(*args)
         dt = perf_counter() - t0
@@ -201,7 +214,9 @@ def _backend(name: str) -> KernelBackend:
     return backend
 
 
-def get_kernels(spec=None, strict: bool = True) -> "KernelBackend":
+def get_kernels(
+    spec: Union[str, "KernelBackend", None] = None, strict: bool = True
+) -> "KernelBackend":
     """Resolve a kernel-backend spec, mirroring ``get_engine``.
 
     ``spec`` may be a :class:`KernelBackend` (returned as-is), a name
@@ -243,14 +258,18 @@ def get_kernels(spec=None, strict: bool = True) -> "KernelBackend":
 
 def active() -> KernelBackend:
     """The process-default backend (resolved lazily on first use)."""
+    # reprolint: disable=R002 process-default backend selection is the seam itself, not a kernel
     global _default
     if _default is None:
         _default = get_kernels(None)
     return _default
 
 
-def set_default_kernels(spec, strict: bool = True) -> KernelBackend:
+def set_default_kernels(
+    spec: Union[str, KernelBackend, None], strict: bool = True
+) -> KernelBackend:
     """Set the process-default backend; returns the resolved backend."""
+    # reprolint: disable=R002 process-default backend selection is the seam itself, not a kernel
     global _default
     _default = get_kernels(spec, strict=strict)
     return _default
@@ -259,16 +278,20 @@ def set_default_kernels(spec, strict: bool = True) -> KernelBackend:
 def reset_default_kernels() -> None:
     """Forget the resolved default so the next :func:`active` re-reads
     ``REPRO_KERNELS`` (test hook)."""
+    # reprolint: disable=R002 process-default backend selection is the seam itself, not a kernel
     global _default
     _default = None
 
 
 @contextmanager
-def use_kernels(spec):
+def use_kernels(
+    spec: Union[str, KernelBackend, None]
+) -> Iterator[KernelBackend]:
     """Scope the process-default backend to a ``with`` block — how an
     engine's ``kernels=`` override applies for exactly one run.
     ``None`` (no override) is a pass-through that yields the active
     default, so engine code wraps unconditionally."""
+    # reprolint: disable=R002 process-default backend selection is the seam itself, not a kernel
     global _default
     if spec is None:
         yield active()

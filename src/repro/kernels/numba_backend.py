@@ -25,11 +25,17 @@ an identity decorator and every kernel runs as plain Python over numpy
 arrays.  That keeps the exact loop logic testable (and usable, via the
 ``python_mirror_backend`` helper) on numpy-only installs; the registry
 simply never selects ``"numba"`` there.
+
+Like every kernel backend, this module is subject to reprolint's
+kernel-purity rule (R002): no RNG, clocks, I/O, or module-global
+mutation — ambient state is the only channel through which two
+backends could diverge.
 """
 
 from __future__ import annotations
 
 import math
+from typing import Any, Callable, Tuple
 
 try:  # the kernel tier only exists on numpy installs; callers gate
     import numpy as _np
@@ -43,11 +49,11 @@ try:
 except ImportError:
     NUMBA_AVAILABLE = False
 
-    def _njit(*args, **kwargs):  # identity decorator: kernels run as Python
+    def _njit(*args: Any, **kwargs: Any) -> Any:  # identity decorator: kernels run as Python
         if args and callable(args[0]):
             return args[0]
 
-        def _decorate(fn):
+        def _decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
             return fn
 
         return _decorate
@@ -73,11 +79,11 @@ __all__ = [
 AVAILABLE = NUMBA_AVAILABLE and _np is not None
 
 
-def _f64(a):
+def _f64(a: _np.ndarray) -> _np.ndarray:
     return _np.ascontiguousarray(a, dtype=_np.float64)
 
 
-def _i64(a):
+def _i64(a: _np.ndarray) -> _np.ndarray:
     return _np.ascontiguousarray(a, dtype=_np.int64)
 
 
@@ -85,7 +91,7 @@ def _i64(a):
 
 
 @_njit(cache=True)
-def _kth_smallest(a, k):
+def _kth_smallest(a: _np.ndarray, k: int) -> float:
     """Exact ``k``-th smallest of ``a`` (0-based) — in-place quickselect
     with median-of-three pivots; ``a`` is scratch and gets permuted."""
     lo = 0
@@ -120,7 +126,9 @@ def _kth_smallest(a, k):
 
 
 @_njit(cache=True)
-def _merge_cut_core(old_keys, cand_keys, sample_size):
+def _merge_cut_core(
+    old_keys: _np.ndarray, cand_keys: _np.ndarray, sample_size: int
+) -> Tuple[float, int]:
     h = old_keys.shape[0]
     c = cand_keys.shape[0]
     merged = _np.empty(h + c, _np.float64)
@@ -135,7 +143,9 @@ def _merge_cut_core(old_keys, cand_keys, sample_size):
 
 
 @_njit(cache=True)
-def _swor_fold_core(keys, threshold, old_keys, sample_size):
+def _swor_fold_core(
+    keys: _np.ndarray, threshold: float, old_keys: _np.ndarray, sample_size: int
+) -> Tuple[_np.ndarray, _np.ndarray, float, int]:
     n = keys.shape[0]
     h = old_keys.shape[0]
     surv = _np.empty(n, _np.int64)
@@ -165,7 +175,9 @@ def _swor_fold_core(keys, threshold, old_keys, sample_size):
 
 
 @_njit(cache=True)
-def _swr_min_fold_core(samplers, keys, sample_size):
+def _swr_min_fold_core(
+    samplers: _np.ndarray, keys: _np.ndarray, sample_size: int
+) -> _np.ndarray:
     best = _np.full(sample_size, -1, _np.int64)
     n = keys.shape[0]
     for i in range(n):
@@ -183,7 +195,7 @@ def _swr_min_fold_core(samplers, keys, sample_size):
 
 
 @_njit(cache=True)
-def _window_dominators_core(keys):
+def _window_dominators_core(keys: _np.ndarray) -> _np.ndarray:
     m = keys.shape[0]
     out = _np.zeros(m, _np.int64)
     if m <= 1:
@@ -211,7 +223,7 @@ def _window_dominators_core(keys):
 
 
 @_njit(cache=True)
-def _compute_levels_core(weights, r):
+def _compute_levels_core(weights: _np.ndarray, r: float) -> Tuple[_np.ndarray, int]:
     n = weights.shape[0]
     levels = _np.zeros(n, _np.int64)
     logr = math.log(r)
@@ -231,7 +243,9 @@ def _compute_levels_core(weights, r):
 
 
 @_njit(cache=True)
-def _window_split_core(weights, r, heavy_floor, table):
+def _window_split_core(
+    weights: _np.ndarray, r: float, heavy_floor: float, table: _np.ndarray
+) -> Tuple[_np.ndarray, _np.ndarray, _np.ndarray, int]:
     n = weights.shape[0]
     levels = _np.zeros(n, _np.int64)
     saturated = _np.ones(n, _np.bool_)
@@ -264,13 +278,17 @@ def _window_split_core(weights, r, heavy_floor, table):
 # -- public kernels (validation + dtype normalization) ------------------
 
 
-def merge_cut(old_keys, cand_keys, sample_size):
+def merge_cut(
+    old_keys: _np.ndarray, cand_keys: _np.ndarray, sample_size: int
+) -> Tuple[float, int]:
     """See :func:`repro.kernels.numpy_backend.merge_cut`."""
     cut, at_cut = _merge_cut_core(_f64(old_keys), _f64(cand_keys), sample_size)
     return float(cut), int(at_cut)
 
 
-def swor_fold_regulars(keys, threshold, old_keys, sample_size):
+def swor_fold_regulars(
+    keys: _np.ndarray, threshold: float, old_keys: _np.ndarray, sample_size: int
+) -> Tuple[_np.ndarray, _np.ndarray, float, int]:
     """See :func:`repro.kernels.numpy_backend.swor_fold_regulars`."""
     surv_idx, kept_idx, cut, at_cut = _swor_fold_core(
         _f64(keys), threshold, _f64(old_keys), sample_size
@@ -278,17 +296,19 @@ def swor_fold_regulars(keys, threshold, old_keys, sample_size):
     return surv_idx, kept_idx, float(cut), int(at_cut)
 
 
-def swr_min_fold(samplers, keys, sample_size):
+def swr_min_fold(
+    samplers: _np.ndarray, keys: _np.ndarray, sample_size: int
+) -> _np.ndarray:
     """See :func:`repro.kernels.numpy_backend.swr_min_fold`."""
     return _swr_min_fold_core(_i64(samplers), _f64(keys), sample_size)
 
 
-def window_dominators(keys):
+def window_dominators(keys: _np.ndarray) -> _np.ndarray:
     """See :func:`repro.kernels.numpy_backend.window_dominators`."""
     return _window_dominators_core(_f64(keys))
 
 
-def compute_levels(weights, r):
+def compute_levels(weights: _np.ndarray, r: float) -> _np.ndarray:
     """See :func:`repro.kernels.numpy_backend.compute_levels`."""
     w = _f64(weights)
     levels, bad = _compute_levels_core(w, r)
@@ -299,7 +319,9 @@ def compute_levels(weights, r):
     return levels
 
 
-def window_split(weights, r, heavy_floor, table):
+def window_split(
+    weights: _np.ndarray, r: float, heavy_floor: float, table: _np.ndarray
+) -> Tuple[_np.ndarray, _np.ndarray, _np.ndarray]:
     """See :func:`repro.kernels.numpy_backend.window_split`."""
     w = _f64(weights)
     levels, saturated, early_positions, bad = _window_split_core(
@@ -312,7 +334,7 @@ def window_split(weights, r, heavy_floor, table):
     return levels, saturated, early_positions
 
 
-def warmup():
+def warmup() -> None:
     """Force-compile every kernel on tiny inputs (a no-op without
     numba).  Benchmarks call this so steady-state timings exclude the
     first-call JIT cost; ``cache=True`` makes the cost once-per-machine

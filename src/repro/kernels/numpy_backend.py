@@ -14,11 +14,18 @@ the same integer counts, and the same index sets in the same order.
 Kernels never draw randomness — they only transform columns whose
 random keys were already drawn by the caller — which is what makes the
 backend choice invisible to samples and message counters.
+
+The purity half of that contract (no RNG, no clocks, no I/O, no
+module-global mutation anywhere under ``src/repro/kernels/``) is
+enforced statically by reprolint rule R002 (``python -m
+tools.reprolint --list-rules``) on top of the behavioral parity suite
+in ``tests/test_kernels.py``.
 """
 
 from __future__ import annotations
 
 import math
+from typing import Tuple
 
 try:  # the kernel tier only exists on numpy installs; callers gate
     import numpy as _np
@@ -46,7 +53,9 @@ AVAILABLE = _np is not None
 _RANK_BLOCK = 256
 
 
-def merge_cut(old_keys, cand_keys, sample_size):
+def merge_cut(
+    old_keys: _np.ndarray, cand_keys: _np.ndarray, sample_size: int
+) -> Tuple[float, int]:
     """``(cut, at_cut)`` of a top-``s`` merge over old + candidate keys.
 
     ``cut`` is the exact ``(total - s)``-th smallest of the merged
@@ -61,7 +70,9 @@ def merge_cut(old_keys, cand_keys, sample_size):
     return cut, int((merged == cut).sum())
 
 
-def swor_fold_regulars(keys, threshold, old_keys, sample_size):
+def swor_fold_regulars(
+    keys: _np.ndarray, threshold: float, old_keys: _np.ndarray, sample_size: int
+) -> Tuple[_np.ndarray, _np.ndarray, float, int]:
     """The fused SWOR coordinator fold over one pack's regular keys.
 
     One pass computes everything the coordinator's fast path needs:
@@ -91,7 +102,9 @@ def swor_fold_regulars(keys, threshold, old_keys, sample_size):
     return surv_idx, kept_idx, cut, at_cut
 
 
-def swr_min_fold(samplers, keys, sample_size):
+def swr_min_fold(
+    samplers: _np.ndarray, keys: _np.ndarray, sample_size: int
+) -> _np.ndarray:
     """Per-sampler minimum of one SWR pack: head indices, ascending
     sampler id, earliest arrival winning key ties.
 
@@ -108,7 +121,7 @@ def swr_min_fold(samplers, keys, sample_size):
     ]
 
 
-def window_dominators(keys):
+def window_dominators(keys: _np.ndarray) -> _np.ndarray:
     """Chunk-internal dominator counts of the sliding-window sampler:
     ``out[i] = #{j > i : keys[j] > keys[i]}`` (strictly later, strictly
     larger), exact integers.
@@ -132,7 +145,7 @@ def window_dominators(keys):
     return dominators
 
 
-def compute_levels(weights, r):
+def compute_levels(weights: _np.ndarray, r: float) -> _np.ndarray:
     """Vectorized level computation ``w in [r^j, r^{j+1})`` (0 for
     ``w < r``), with the scalar path's float-edge corrections.
 
@@ -171,7 +184,9 @@ def compute_levels(weights, r):
     return levels
 
 
-def window_split(weights, r, heavy_floor, table):
+def window_split(
+    weights: _np.ndarray, r: float, heavy_floor: float, table: _np.ndarray
+) -> Tuple[_np.ndarray, _np.ndarray, _np.ndarray]:
     """Fused site-side level computation + early/regular split.
 
     For every weight at or above ``heavy_floor`` the exact level is

@@ -537,7 +537,7 @@ class MultiQueryDriver:
         n = len(stream)
         base = self.items_processed
         marks: List[int] = (
-            [t - base for t in set(checkpoints) if base < t <= base + n]
+            [t - base for t in sorted(set(checkpoints)) if base < t <= base + n]
             if checkpoints
             else []
         )

@@ -148,7 +148,7 @@ class ColumnarEngine(BatchedEngine):
         base = network.items_processed
         want_checkpoints = checkpoints is not None and on_checkpoint is not None
         marks: List[int] = (
-            [t - base for t in set(checkpoints) if base < t <= base + n]
+            [t - base for t in sorted(set(checkpoints)) if base < t <= base + n]
             if want_checkpoints
             else []
         )

@@ -1,0 +1,5 @@
+"""Repo-local developer tooling (not shipped with the package).
+
+Currently: :mod:`tools.reprolint`, the determinism & invariant
+analyzer run by the ``lint`` CI job.
+"""

@@ -1,0 +1,42 @@
+"""reprolint — the repo's determinism & invariant analyzer.
+
+A self-contained AST lint pass (stdlib only) enforcing the contracts
+every fast path's bit-parity gate depends on:
+
+* R001 rng-discipline · R002 kernel-purity · R003 snapshot-completeness
+* R004 clock-discipline · R005 metric-name-drift · R006 order-hazards
+
+Run ``python -m tools.reprolint`` (see :mod:`tools.reprolint.cli`),
+suppress with ``# reprolint: disable=RXXX <justification>``, and see
+:mod:`tools.reprolint.rules` for what each rule pins and why.
+"""
+
+from .baseline import apply_baseline, load_baseline, render_baseline
+from .engine import (
+    RULE_REGISTRY,
+    AnalysisResult,
+    Finding,
+    Rule,
+    SourceFile,
+    all_rules,
+    analyze_paths,
+    collect_files,
+    find_repo_root,
+    register_rule,
+)
+
+__all__ = [
+    "AnalysisResult",
+    "Finding",
+    "Rule",
+    "RULE_REGISTRY",
+    "SourceFile",
+    "all_rules",
+    "analyze_paths",
+    "apply_baseline",
+    "collect_files",
+    "find_repo_root",
+    "load_baseline",
+    "register_rule",
+    "render_baseline",
+]

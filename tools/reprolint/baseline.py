@@ -1,0 +1,97 @@
+"""Baseline handling — grandfathered findings that do not fail CI.
+
+The baseline is a committed JSON file keyed on
+``(rule, path, snippet)`` with an occurrence count — deliberately
+**not** on line numbers, so unrelated edits above a grandfathered
+finding do not resurrect it.  Consequences of the keying:
+
+* moving a flagged line within its file keeps it baselined;
+* editing the flagged line (even whitespace-insignificantly) drops the
+  match and the finding fails CI — touching grandfathered code means
+  fixing it, which is the ratchet the baseline exists to provide;
+* adding a *second* identical offence on an identical line in the same
+  file exceeds the recorded count and fails CI.
+
+The repo ships with an **empty** baseline for R001/R002/R004 (the
+sweep fixed everything); keep it that way.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from .engine import Finding
+
+__all__ = ["BASELINE_VERSION", "load_baseline", "apply_baseline", "render_baseline"]
+
+BASELINE_VERSION = 1
+
+BaselineKey = Tuple[str, str, str]  # (rule, path, snippet)
+
+
+def load_baseline(path: Path) -> "Counter[BaselineKey]":
+    """Parse a baseline file into ``{(rule, path, snippet): count}``.
+
+    A missing file is an empty baseline; a malformed one raises
+    ``ValueError`` (CI should fail loudly, not silently un-baseline).
+    """
+    if not path.is_file():
+        return Counter()
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"unreadable baseline {path}: {exc}") from exc
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path} has unsupported version "
+            f"{data.get('version') if isinstance(data, dict) else data!r} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    out: "Counter[BaselineKey]" = Counter()
+    for entry in data.get("entries", []):
+        try:
+            key = (entry["rule"], entry["path"], entry["snippet"])
+            count = int(entry.get("count", 1))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed baseline entry in {path}: {entry!r}") from exc
+        out[key] += count
+    return out
+
+
+def apply_baseline(
+    findings: List[Finding], baseline: "Counter[BaselineKey]"
+) -> Tuple[List[Finding], int]:
+    """Split findings into (new, baselined-count).
+
+    Matching consumes baseline budget per key, so N grandfathered
+    occurrences cover at most N live ones.
+    """
+    budget = Counter(baseline)
+    fresh: List[Finding] = []
+    matched = 0
+    for finding in findings:
+        key: BaselineKey = (finding.rule, finding.path, finding.snippet)
+        if budget[key] > 0:
+            budget[key] -= 1
+            matched += 1
+        else:
+            fresh.append(finding)
+    return fresh, matched
+
+
+def render_baseline(findings: List[Finding]) -> str:
+    """Serialize current findings as baseline-file JSON (for
+    ``--write-baseline``)."""
+    counts: "Counter[BaselineKey]" = Counter(
+        (f.rule, f.path, f.snippet) for f in findings
+    )
+    entries: List[Dict[str, object]] = [
+        {"rule": rule, "path": path, "snippet": snippet, "count": count}
+        for (rule, path, snippet), count in sorted(counts.items())
+    ]
+    return json.dumps(
+        {"version": BASELINE_VERSION, "entries": entries}, indent=2
+    ) + "\n"

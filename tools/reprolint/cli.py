@@ -1,0 +1,153 @@
+"""Command-line front end: ``python -m tools.reprolint``.
+
+Usage::
+
+    python -m tools.reprolint [--format text|json] [--rule R00X ...]
+                              [--baseline PATH | --no-baseline]
+                              [--write-baseline] [--list-rules] [paths...]
+
+Paths default to ``src/repro tests tools`` under the repo root.  Exit
+status: 0 when no non-baselined findings, 1 when there are findings,
+2 on usage errors (unknown rule, malformed baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .baseline import apply_baseline, load_baseline, render_baseline
+from .engine import all_rules, analyze_paths, find_repo_root
+
+__all__ = ["main"]
+
+#: Repo-root-relative default targets when no paths are given.
+DEFAULT_TARGETS = ("src/repro", "tests", "tools")
+
+#: Repo-root-relative location of the committed baseline.
+DEFAULT_BASELINE = "tools/reprolint/baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="AST-based determinism & invariant analyzer for this repo",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help=f"files/directories to analyze (default: {' '.join(DEFAULT_TARGETS)})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        metavar="RXXX",
+        help="restrict to the given rule id(s); repeatable",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=f"baseline file (default: <repo-root>/{DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline file to cover all current findings",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.name:<24} {rule.summary}")
+        return 0
+
+    root = find_repo_root(args.paths[0] if args.paths else Path.cwd())
+    paths: List[Path] = list(args.paths) or [root / t for t in DEFAULT_TARGETS]
+    paths = [p for p in paths if p.exists()]
+    if not paths:
+        print("reprolint: no existing paths to analyze", file=sys.stderr)
+        return 2
+
+    try:
+        result = analyze_paths(paths, root=root, rule_ids=args.rule)
+    except ValueError as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline or (root / DEFAULT_BASELINE)
+    if args.write_baseline:
+        baseline_path.write_text(
+            render_baseline(result.findings), encoding="utf-8"
+        )
+        print(
+            f"reprolint: wrote {len(result.findings)} finding(s) to "
+            f"{baseline_path}"
+        )
+        return 0
+
+    baselined = 0
+    findings = result.findings
+    if not args.no_baseline:
+        try:
+            baseline = load_baseline(baseline_path)
+        except ValueError as exc:
+            print(f"reprolint: {exc}", file=sys.stderr)
+            return 2
+        findings, baselined = apply_baseline(findings, baseline)
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "root": str(root),
+                    "checked_files": result.checked_files,
+                    "suppressed": result.suppressed,
+                    "baselined": baselined,
+                    "findings": [f.to_json() for f in findings],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.format_text())
+        summary = (
+            f"reprolint: {len(findings)} finding(s) in "
+            f"{result.checked_files} file(s)"
+        )
+        extras = []
+        if result.suppressed:
+            extras.append(f"{result.suppressed} suppressed")
+        if baselined:
+            extras.append(f"{baselined} baselined")
+        if extras:
+            summary += f" ({', '.join(extras)})"
+        print(summary, file=sys.stderr)
+
+    return 1 if findings else 0

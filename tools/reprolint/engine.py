@@ -1,0 +1,343 @@
+"""reprolint engine — file walking, suppressions, rule dispatch.
+
+The analyzer is deliberately self-contained: stdlib :mod:`ast` plus
+:mod:`json`, nothing else, so the lint CI job needs no extra installs
+and the tool can never drift out of sync with a third-party framework.
+
+Pipeline per file:
+
+1. parse the source into an AST (a syntax error is itself a finding);
+2. scan comments for inline suppressions
+   (``# reprolint: disable=R001,R004 reason``) and file-wide ones
+   (``# reprolint: disable-file=R005 reason``);
+3. run every registered rule whose :meth:`Rule.applies_to` accepts the
+   file's repo-relative path;
+4. drop findings covered by a suppression (a suppression *must* carry a
+   justification — a bare one is reported as ``R000``) or by the
+   committed baseline (see :mod:`tools.reprolint.baseline`).
+
+Findings carry the stripped source line (``snippet``) so baseline
+matching survives unrelated line-number drift.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "SourceFile",
+    "RULE_REGISTRY",
+    "register_rule",
+    "all_rules",
+    "collect_files",
+    "find_repo_root",
+    "analyze_paths",
+]
+
+#: Meta-rule id for analyzer-level problems: syntax errors, malformed
+#: or justification-free suppressions.  Not suppressible.
+META_RULE = "R000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*(disable|disable-file)\s*=\s*"
+    r"(?P<rules>R\d{3}(?:\s*,\s*R\d{3})*)"
+    r"(?P<reason>.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # repo-relative posix path
+    line: int  # 1-based
+    col: int  # 0-based
+    message: str
+    snippet: str  # stripped source line (baseline key material)
+
+    def format_text(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# reprolint: disable[-file]=...`` comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+    file_wide: bool
+
+
+class SourceFile:
+    """A parsed source file plus its suppression table."""
+
+    def __init__(
+        self, path: Path, rel: str, text: str, root: Optional[Path] = None
+    ) -> None:
+        self.path = path
+        self.rel = rel
+        self.root = root if root is not None else path.parent
+        self.text = text
+        self.lines: List[str] = text.splitlines()
+        self.tree: Optional[ast.AST] = None
+        self.parse_error: Optional[Finding] = None
+        self.suppressions: List[Suppression] = []
+        self.meta_findings: List[Finding] = []
+        try:
+            self.tree = ast.parse(text, filename=str(path))
+        except SyntaxError as exc:
+            self.parse_error = Finding(
+                rule=META_RULE,
+                path=rel,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"syntax error: {exc.msg}",
+                snippet=self.line_text(exc.lineno or 1),
+            )
+        self._scan_suppressions()
+
+    # -- helpers for rules -------------------------------------------
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=rule,
+            path=self.rel,
+            line=line,
+            col=col,
+            message=message,
+            snippet=self.line_text(line),
+        )
+
+    # -- suppressions ------------------------------------------------
+
+    def _scan_suppressions(self) -> None:
+        # Tokenize so that docstrings/strings *mentioning* the
+        # suppression syntax are not mistaken for (malformed) comments.
+        try:
+            tokens = list(
+                tokenize.generate_tokens(io.StringIO(self.text).readline)
+            )
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return  # unparseable — already reported as a parse error
+        for token in tokens:
+            if token.type != tokenize.COMMENT or "reprolint" not in token.string:
+                continue
+            lineno, raw = token.start[0], token.string
+            match = _SUPPRESS_RE.search(raw)
+            if match is None:
+                # A comment that mentions the tool but does not parse is
+                # a typo waiting to silently un-suppress something.
+                if re.search(r"#\s*reprolint\s*:", raw):
+                    self.meta_findings.append(
+                        Finding(
+                            rule=META_RULE,
+                            path=self.rel,
+                            line=lineno,
+                            col=0,
+                            message="malformed reprolint comment "
+                            "(expected '# reprolint: disable=RXXX[,RYYY] reason')",
+                            snippet=raw.strip(),
+                        )
+                    )
+                continue
+            rules = tuple(
+                r.strip() for r in match.group("rules").split(",") if r.strip()
+            )
+            reason = match.group("reason").strip()
+            if not reason:
+                self.meta_findings.append(
+                    Finding(
+                        rule=META_RULE,
+                        path=self.rel,
+                        line=lineno,
+                        col=0,
+                        message=f"suppression of {', '.join(rules)} has no "
+                        "justification — add one after the rule list",
+                        snippet=raw.strip(),
+                    )
+                )
+                continue
+            self.suppressions.append(
+                Suppression(
+                    line=lineno,
+                    rules=rules,
+                    reason=reason,
+                    file_wide=match.group(1) == "disable-file",
+                )
+            )
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        if finding.rule == META_RULE:
+            return False
+        for sup in self.suppressions:
+            if finding.rule not in sup.rules:
+                continue
+            if sup.file_wide:
+                return True
+            # Same line, or a dedicated comment on the line above.
+            if sup.line == finding.line or sup.line == finding.line - 1:
+                return True
+        return False
+
+
+class Rule:
+    """Base class for reprolint rules.
+
+    Subclasses set ``id``/``name``/``summary``, override
+    :meth:`applies_to` to scope themselves by repo-relative path, and
+    implement :meth:`check` yielding :class:`Finding` objects.
+    """
+
+    id: str = ""
+    name: str = ""
+    summary: str = ""
+
+    def applies_to(self, rel: str) -> bool:  # pragma: no cover - overridden
+        return True
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+RULE_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.id or cls.id in RULE_REGISTRY:
+        raise ValueError(f"rule id missing or duplicate: {cls.id!r}")
+    RULE_REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    # Import for side effects: rule classes self-register on import.
+    from . import rules as _rules  # noqa: F401
+
+    return [RULE_REGISTRY[rid]() for rid in sorted(RULE_REGISTRY)]
+
+
+# -- file walking -----------------------------------------------------
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache", "node_modules"}
+
+
+def collect_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[Path] = []
+    seen = set()
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(
+                p
+                for p in path.rglob("*.py")
+                if not any(part in _SKIP_DIRS for part in p.parts)
+            )
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                out.append(candidate)
+    return out
+
+
+def find_repo_root(start: Path) -> Path:
+    """Nearest ancestor holding a ``pyproject.toml`` (else ``start``).
+
+    The root anchors repo-relative paths (rule scoping, baseline keys)
+    and locates the golden metric-name list for R005.
+    """
+    node = start.resolve()
+    if node.is_file():
+        node = node.parent
+    for candidate in (node, *node.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return start.resolve() if start.is_dir() else start.resolve().parent
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analyzer run produced, pre-baseline."""
+
+    root: Path
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    checked_files: int = 0
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    root: Optional[Path] = None,
+    rule_ids: Optional[Sequence[str]] = None,
+) -> AnalysisResult:
+    """Run the (optionally filtered) rule set over ``paths``."""
+    if root is None:
+        root = find_repo_root(paths[0] if paths else Path.cwd())
+    rules = all_rules()
+    if rule_ids:
+        unknown = sorted(set(rule_ids) - {r.id for r in rules})
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(RULE_REGISTRY))})"
+            )
+        rules = [r for r in rules if r.id in set(rule_ids)]
+    result = AnalysisResult(root=root)
+    for path in collect_files(paths):
+        try:
+            rel = path.resolve().relative_to(root).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:  # pragma: no cover - unreadable file
+            result.findings.append(
+                Finding(META_RULE, rel, 1, 0, f"cannot read file: {exc}", "")
+            )
+            continue
+        src = SourceFile(path, rel, text, root=root)
+        result.checked_files += 1
+        result.findings.extend(src.meta_findings)
+        if src.parse_error is not None:
+            result.findings.append(src.parse_error)
+            continue
+        for rule in rules:
+            if not rule.applies_to(rel):
+                continue
+            for finding in rule.check(src):
+                if src.is_suppressed(finding):
+                    result.suppressed += 1
+                else:
+                    result.findings.append(finding)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return result
