@@ -88,6 +88,15 @@ BASELINES: Dict[str, Dict[str, List[str]]] = {
         "ratios": ["speedup", "lockstep_speedup"],
         "absolute": ["sharded_items_per_sec"],
     },
+    # supervision_ratio is unsupervised/supervised wall time on the
+    # SAME lockstep sharded run (~1.0 when supervision is free, the
+    # in-bench REPRO_BENCH_FAULTS_MAX_OVERHEAD gate enforces the real
+    # 2% ceiling); recovery_identical rides along as a parity check.
+    "BENCH_faults.json": {
+        "config": ["items", "sites", "sample_size", "workers", "batch_size"],
+        "ratios": ["supervision_ratio"],
+        "absolute": ["supervised_items_per_sec"],
+    },
     # fold_speedup is numba-vs-numpy on the fused coordinator fold; a
     # numpy-only environment records 1.0 (the bench skips the compiled
     # tier but still asserts parity), so the committed number is stable

@@ -16,11 +16,12 @@ catalog of estimation queries concurrently over one shared stream pass
 (see :mod:`repro.query`).
 
 Every subcommand accepts ``--engine {reference,batched,columnar,sharded}``
-(``--batch-size N`` for the batching engines, ``--workers N`` and
-``--pipeline {auto,on,off}`` for the sharded engine, ``--kernels
-{auto,numba,numpy}`` for the columnar-plane engines — see
-:mod:`repro.kernels`) to pick the execution runtime; see
-:mod:`repro.runtime`.
+(``--batch-size N`` for the batching engines, ``--workers N``,
+``--pipeline {auto,on,off}``, ``--worker-timeout SECONDS``,
+``--max-worker-restarts N``, and the debug-only ``--fault-plan PLAN``
+for the sharded engine, ``--kernels {auto,numba,numpy}`` for the
+columnar-plane engines — see :mod:`repro.kernels`) to pick the
+execution runtime; see :mod:`repro.runtime`.
 Every protocol has a native columnar fast path, so ``--engine columnar``
 is bit-identical to ``batched`` on each subcommand, just faster —
 and ``--engine sharded`` runs the site passes across worker processes,
@@ -138,6 +139,30 @@ def build_parser() -> argparse.ArgumentParser:
             "compiled tier behind the hottest fold and site loops "
             "(numba when installed, numpy always; bit-identical either "
             "way; default: the REPRO_KERNELS env var, else auto)",
+        )
+        p.add_argument(
+            "--worker-timeout",
+            type=float,
+            default=None,
+            help="seconds the sharded supervisor waits for a worker "
+            "message before classifying it as hung (--engine sharded "
+            "only; default: 60)",
+        )
+        p.add_argument(
+            "--max-worker-restarts",
+            type=int,
+            default=None,
+            help="worker respawns the sharded supervisor may perform "
+            "per run before degrading to a slower engine rung "
+            "(--engine sharded only; default: 2)",
+        )
+        p.add_argument(
+            "--fault-plan",
+            metavar="PLAN",
+            default=None,
+            help="inject deterministic faults into the sharded engine's "
+            "chaos seams: comma-separated kind:worker:window entries, "
+            "e.g. 'kill:1:2,corrupt:0:3' (debug/test only)",
         )
         p.add_argument(
             "--profile",
@@ -266,6 +291,12 @@ def _check_engine_flags(args: argparse.Namespace) -> None:
         "sharded",
     ):
         raise SystemExit("--kernels requires --engine columnar or sharded")
+    if args.worker_timeout is not None and args.engine != "sharded":
+        raise SystemExit("--worker-timeout requires --engine sharded")
+    if args.max_worker_restarts is not None and args.engine != "sharded":
+        raise SystemExit("--max-worker-restarts requires --engine sharded")
+    if args.fault_plan is not None and args.engine != "sharded":
+        raise SystemExit("--fault-plan requires --engine sharded")
 
 
 def _engine_of(args: argparse.Namespace):
@@ -280,6 +311,9 @@ def _engine_of(args: argparse.Namespace):
         workers=args.workers,
         pipeline=args.pipeline,
         kernels=args.kernels,
+        worker_timeout=args.worker_timeout,
+        max_worker_restarts=args.max_worker_restarts,
+        fault_plan=args.fault_plan,
     )
     args._engine = engine
     if getattr(args, "metrics_out", None) or args.command == "stats":
@@ -422,10 +456,17 @@ def _cmd_query(args: argparse.Namespace) -> str:
     )
 
     _check_engine_flags(args)
-    if args.workers is not None or args.pipeline is not None:
+    if (
+        args.workers is not None
+        or args.pipeline is not None
+        or args.worker_timeout is not None
+        or args.max_worker_restarts is not None
+        or args.fault_plan is not None
+    ):
         raise SystemExit(
             "repro query runs its fused multi-query pass in-process; "
-            "--workers/--pipeline do not apply (engine 'sharded' selects "
+            "--workers/--pipeline/--worker-timeout/--max-worker-restarts/"
+            "--fault-plan do not apply (engine 'sharded' selects "
             "the columnar data plane)"
         )
     rng = random.Random(args.seed)

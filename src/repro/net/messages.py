@@ -26,6 +26,7 @@ from typing import Dict, Tuple
 __all__ = [
     "Message",
     "MessagePack",
+    "PackWireError",
     "EARLY",
     "REGULAR",
     "LEVEL_SATURATED",
@@ -55,6 +56,18 @@ UPSTREAM_KINDS = frozenset({EARLY, REGULAR, SWR_SAMPLE, COUNT_REPORT, RAW_ITEM})
 DOWNSTREAM_KINDS = frozenset(
     {LEVEL_SATURATED, EPOCH_UPDATE, ROUND_UPDATE, ESTIMATE_BROADCAST}
 )
+
+
+class PackWireError(ValueError):
+    """A pack's wire form is malformed: unknown or incomplete columns,
+    ragged halves, or a descriptor pointing outside its buffer.
+
+    Raised at the process/network boundary (:meth:`MessagePack.from_arrays`
+    / :meth:`MessagePack.read_from`) so a poisoned or truncated pack is
+    rejected before it can crash a coordinator fold; the sharded
+    supervisor classifies it as a ``poison`` fault.  Subclasses
+    :class:`ValueError` for compatibility with pre-existing callers.
+    """
 
 
 class Message:
@@ -274,12 +287,19 @@ class MessagePack:
         """
         import numpy as _np
 
-        columns = {
-            name: _np.frombuffer(
-                buf, dtype=_np.dtype(dtype), count=count, offset=offset
+        nbytes = len(buf) if isinstance(buf, (bytes, bytearray)) else buf.nbytes
+        columns = {}
+        for name, (offset, dtype, count) in spec.items():
+            dt = _np.dtype(dtype)
+            end = offset + dt.itemsize * count
+            if offset < 0 or count < 0 or end > nbytes:
+                raise PackWireError(
+                    f"truncated pack: column {name!r} wants bytes "
+                    f"[{offset}, {end}) of a {nbytes}-byte buffer"
+                )
+            columns[name] = _np.frombuffer(
+                buf, dtype=dt, count=count, offset=offset
             )
-            for name, (offset, dtype, count) in spec.items()
-        }
         return cls.from_arrays(regular_kind, columns)
 
     @classmethod
@@ -304,7 +324,9 @@ class MessagePack:
             ) from None
         unknown = set(columns) - set(cls.WIRE_DTYPES)
         if unknown:
-            raise ValueError(f"unknown MessagePack columns: {sorted(unknown)}")
+            raise PackWireError(
+                f"unknown MessagePack columns: {sorted(unknown)}"
+            )
         kwargs = {
             name: _np.ascontiguousarray(value, dtype=cls.WIRE_DTYPES[name])
             for name, value in columns.items()
@@ -320,7 +342,7 @@ class MessagePack:
             present = [name for name in required if name in kwargs]
             if present and len(present) != len(required):
                 missing = sorted(set(required) - set(present))
-                raise ValueError(
+                raise PackWireError(
                     f"incomplete {half} half: missing columns {missing}"
                 )
             lengths = {
@@ -329,9 +351,11 @@ class MessagePack:
                 if name.startswith(half)
             }
             if len(set(lengths.values())) > 1:
-                raise ValueError(f"{half} column lengths disagree: {lengths}")
+                raise PackWireError(
+                    f"{half} column lengths disagree: {lengths}"
+                )
         if "regular_extra" in kwargs and "regular_idents" not in kwargs:
-            raise ValueError(
+            raise PackWireError(
                 "regular_extra requires the regular half to be present"
             )
         return cls(regular_kind=regular_kind, **kwargs)

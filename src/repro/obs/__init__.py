@@ -39,7 +39,11 @@ gated at ≤2% by ``benchmarks/bench_obs.py``.
 from .bridge import (
     WORKER_METRIC_NAMES,
     merge_worker_deltas,
+    observe_degradation,
+    observe_fault,
+    observe_heartbeat_age,
     observe_message_counters,
+    observe_recovery,
     observe_sharded_stats,
 )
 from .exposition import render_json, render_prometheus, write_metrics
@@ -62,6 +66,10 @@ __all__ = [
     "write_metrics",
     "observe_message_counters",
     "observe_sharded_stats",
+    "observe_fault",
+    "observe_recovery",
+    "observe_degradation",
+    "observe_heartbeat_age",
     "merge_worker_deltas",
     "WORKER_METRIC_NAMES",
 ]

@@ -25,6 +25,10 @@ from typing import Dict
 __all__ = [
     "observe_message_counters",
     "observe_sharded_stats",
+    "observe_fault",
+    "observe_recovery",
+    "observe_degradation",
+    "observe_heartbeat_age",
     "merge_worker_deltas",
     "WORKER_METRIC_NAMES",
 ]
@@ -42,6 +46,7 @@ WORKER_METRIC_NAMES = (
     "snapshots",
     "rolls_served",
     "spec_recomputes",
+    "replay_windows",
 )
 
 
@@ -151,6 +156,60 @@ def observe_sharded_stats(registry, stats: Dict[str, object]) -> None:
             for key, value in entry.items():
                 if key.endswith("_seconds"):
                     window_hist.labels(phase=key[:-8]).observe(value)
+
+
+def observe_fault(registry, fault_class: str) -> None:
+    """Count one classified worker fault (``crash``/``hang``/``poison``)
+    detected by the sharded supervisor."""
+    if not registry.enabled:
+        return
+    registry.counter(
+        "repro_shard_faults_total",
+        "worker faults classified by the sharded supervisor",
+        labels=("fault_class",),
+    ).labels(fault_class=fault_class).inc()
+
+
+def observe_recovery(registry, worker: int, seconds: float) -> None:
+    """Record one completed window-boundary recovery (respawn + state
+    re-ship + replay + survivor rewind) and its wall-clock cost."""
+    if not registry.enabled:
+        return
+    registry.counter(
+        "repro_shard_worker_restarts_total",
+        "shard workers respawned by the supervisor after a fault",
+        labels=("worker",),
+    ).labels(worker=worker).inc()
+    registry.histogram(
+        "repro_shard_recovery_seconds",
+        "wall-clock seconds per deterministic worker recovery",
+    ).observe(seconds)
+
+
+def observe_degradation(registry, rung: str) -> None:
+    """Count one rung taken on the graceful-degradation ladder
+    (``lockstep`` or ``columnar``) after recovery was exhausted or
+    unavailable."""
+    if not registry.enabled:
+        return
+    registry.counter(
+        "repro_shard_degradations_total",
+        "sharded runs degraded to a slower rung after fault recovery "
+        "was exhausted",
+        labels=("rung",),
+    ).labels(rung=rung).inc()
+
+
+def observe_heartbeat_age(registry, worker: int, seconds: float) -> None:
+    """Export one worker's heartbeat age (seconds since its last
+    message reached the supervisor; refreshed at every window commit)."""
+    if not registry.enabled:
+        return
+    registry.gauge(
+        "repro_shard_worker_heartbeat_age_seconds",
+        "seconds since each shard worker's last message, at last export",
+        labels=("worker",),
+    ).labels(worker=worker).set(seconds)
 
 
 def merge_worker_deltas(registry, worker: int, deltas) -> None:

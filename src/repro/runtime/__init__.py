@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Type, Union
 
 from ..common.errors import ConfigurationError
+from ..faults import FaultPlan
 from .base import Engine
 from .batched import BatchedEngine, ItemBatch
 from .columnar import ColumnarEngine
@@ -66,6 +67,9 @@ def get_engine(
     workers: Optional[int] = None,
     pipeline: Optional[str] = None,
     kernels: Optional[str] = None,
+    worker_timeout: Optional[float] = None,
+    max_worker_restarts: Optional[int] = None,
+    fault_plan: Union[str, FaultPlan, None] = None,
 ) -> Engine:
     """Resolve an engine from a name, an instance, or ``None``.
 
@@ -89,6 +93,18 @@ def get_engine(
         ``"auto"`` / ``"numba"`` / ``"numpy"`` — the kernel backend for
         the columnar-plane engines (see :mod:`repro.kernels`); rejected
         for engines without a columnar data plane.
+    worker_timeout:
+        Seconds the sharded supervisor waits for a worker message
+        before classifying the worker as hung; rejected for engines
+        that do not shard.
+    max_worker_restarts:
+        Worker respawns the sharded supervisor may perform per run
+        before degrading down the engine ladder; rejected for engines
+        that do not shard.
+    fault_plan:
+        A :class:`~repro.faults.FaultPlan` (or its ``kind:worker:window``
+        string form) injected through the sharded engine's chaos seams
+        — test/debug only; rejected for engines that do not shard.
     """
     if isinstance(spec, Engine):
         if batch_size is not None:
@@ -106,6 +122,19 @@ def get_engine(
         if kernels is not None:
             raise ConfigurationError(
                 "kernels cannot be combined with an engine instance"
+            )
+        if worker_timeout is not None:
+            raise ConfigurationError(
+                "worker_timeout cannot be combined with an engine instance"
+            )
+        if max_worker_restarts is not None:
+            raise ConfigurationError(
+                "max_worker_restarts cannot be combined with an "
+                "engine instance"
+            )
+        if fault_plan is not None:
+            raise ConfigurationError(
+                "fault_plan cannot be combined with an engine instance"
             )
         return spec
     name = "reference" if spec is None else str(spec)
@@ -138,4 +167,22 @@ def get_engine(
                 f"engine {name!r} does not take a kernel backend"
             )
         kwargs["kernels"] = kernels
+    if worker_timeout is not None:
+        if not issubclass(cls, ShardedEngine):
+            raise ConfigurationError(
+                f"engine {name!r} does not take a worker_timeout"
+            )
+        kwargs["worker_timeout"] = worker_timeout
+    if max_worker_restarts is not None:
+        if not issubclass(cls, ShardedEngine):
+            raise ConfigurationError(
+                f"engine {name!r} does not take max_worker_restarts"
+            )
+        kwargs["max_worker_restarts"] = max_worker_restarts
+    if fault_plan is not None:
+        if not issubclass(cls, ShardedEngine):
+            raise ConfigurationError(
+                f"engine {name!r} does not take a fault_plan"
+            )
+        kwargs["fault_plan"] = fault_plan
     return cls(**kwargs)

@@ -95,8 +95,9 @@ class Engine(ABC):
         export the run onto the registry (engine-labeled run/item
         counters, a run-duration histogram, and the network's message
         accounting).  A sharded fallback's ``{"mode": "fallback",
-        "reason": ...}`` marker survives the refresh so diagnostics
-        keep explaining *why* the in-process path ran.
+        "reason": ...}`` marker — or the supervisor's ``"degraded"``
+        marker — survives the refresh so diagnostics keep explaining
+        *why* the in-process path ran.
         """
         stats: Dict[str, object] = {
             "engine": self.name,
@@ -106,7 +107,7 @@ class Engine(ABC):
         if windows is not None:
             stats["windows"] = windows
         prior = self.last_run_stats
-        if prior.get("mode") == "fallback" and "engine" not in prior:
+        if prior.get("mode") in ("fallback", "degraded") and "engine" not in prior:
             stats = {**prior, **stats}
         self.last_run_stats = stats
         self._export_run(network, items, seconds, windows)

@@ -113,6 +113,37 @@ refold counts, and a per-window timing breakdown (worker compute,
 transport wait, parent fold); ``repro ... --profile --engine sharded``
 prints it.
 
+Fault tolerance: supervision, recovery, and the degradation ladder
+------------------------------------------------------------------
+Every worker receive is supervised (``supervision="on"``, the
+default): deadline-bounded waits classify silence as a **hang**, a
+dead pipe or process exit as a **crash**, and a descriptor rejected by
+the wire validation in :mod:`repro.net.messages` as **poison** — while
+a worker that ships its own traceback stays fail-stop
+(:class:`ShardedWorkerError`, ``fault_class="error"``), since replaying
+a deterministic user-code exception would just raise it again.  In
+lockstep mode a classified fault triggers **deterministic
+window-boundary recovery**: the dead shard's worker is reaped and
+respawned on the same pool slot (bounded retries, capped backoff), its
+run-start site states are re-shipped and fast-forwarded through the
+committed control history (bit-identical replay — same RNG positions),
+survivors rewind the in-flight window to their pre-window snapshots,
+the parent's coordinator/counters rewind to the window-start snapshot,
+and the window retries.  A recovered run's samples **and** message
+counters are bit-identical to a fault-free one.  When recovery is
+exhausted (``max_worker_restarts``) or structurally unavailable
+(pipelined speculation in flight, a mid-commit fault, a coordinator
+that cannot rewind), the run takes the **degradation ladder** —
+pipelined -> lockstep -> in-process columnar — restoring the run-start
+network checkpoint between rungs; ``last_run_stats`` records the
+fault log, restart count, recovery seconds, and the rung taken
+(``mode="degraded"`` at the bottom).  The chaos seams threaded through
+the worker loops (:mod:`repro.faults`) inject crashes, hangs, drops,
+corrupt/truncated packs, stalled acks, and respawn failures
+deterministically; ``tests/test_chaos.py`` drives them across the
+whole grid and asserts bit-identity or explicit degradation — never a
+hang, leaked process, or leaked shared-memory segment.
+
 Fallbacks: numpy-free installs, non-int64 ident streams, ``workers=1``
 (or one site), instrumented networks (a
 :class:`~repro.net.tracing.MessageTrace` wrapping the delivery
@@ -146,12 +177,24 @@ except ImportError:  # pragma: no cover - platform-dependent
     _shared_memory = None  # type: ignore[assignment]
 
 from ..common.errors import ConfigurationError, ProtocolViolationError
+from ..faults import (
+    FaultPlan,
+    block_forever,
+    chaos_exit,
+    corrupt_descriptors,
+    fault_action,
+    parse_fault_plan,
+)
 from ..kernels import active as _active_kernels
 from ..kernels import set_default_kernels, use_kernels
-from ..net.messages import MessagePack
+from ..net.messages import MessagePack, PackWireError
 from ..obs import (
     WORKER_METRIC_NAMES,
     merge_worker_deltas,
+    observe_degradation,
+    observe_fault,
+    observe_heartbeat_age,
+    observe_recovery,
     observe_sharded_stats,
 )
 from .batched import (
@@ -166,7 +209,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotations only
     from ..net.counters import MessageCounters
     from .network import Network
 
-__all__ = ["ShardedEngine", "ShardedWorkerError"]
+__all__ = ["ShardedEngine", "ShardedWorkerError", "WorkerSupervisor"]
 
 #: Floor for the per-worker result ring (one window's packs always fit
 #: unless the batch is enormous; oversized windows fall back to inline
@@ -177,18 +220,107 @@ _MIN_RING_BYTES = 1 << 20
 #: setup as failed (and falling back in-process).
 _READY_TIMEOUT = 120.0
 
+#: Default per-message supervision deadline (seconds of worker silence
+#: before the supervisor classifies a hang).  Generous: a deadline only
+#: has to beat "forever", not a window compute.
+_DEFAULT_WORKER_TIMEOUT = 60.0
+
+#: Respawn attempts per recovery, with capped exponential backoff.
+_RESPAWN_RETRIES = 3
+_RESPAWN_BACKOFF = 0.05
+_RESPAWN_BACKOFF_CAP = 1.0
+
+#: Seconds to wait for a politely-asked worker to exit before force.
+_JOIN_TIMEOUT = 5.0
+
 
 class ShardedWorkerError(RuntimeError):
-    """A shard worker died or raised; carries the original traceback.
+    """A shard worker died, hung, raised, or sent a malformed pack.
 
-    The parent re-raises this after tearing the worker pool down
-    (processes joined or killed, shared-memory segments unlinked), so a
-    failing site never leaks orphans.
+    The parent raises this only after recovery is exhausted or disabled
+    and the worker pool is torn down (processes joined or killed,
+    shared-memory segments unlinked), so a failing site never leaks
+    orphans.  Structured context rides along for programmatic handling:
+
+    ``worker``
+        The worker's pool index, or None when no single worker is at
+        fault (setup failures).
+    ``shard``
+        The worker's ``(site_lo, site_hi)`` site range.
+    ``window``
+        The batch-window index being folded when the fault surfaced
+        (None outside the window loop).
+    ``fault_class``
+        The supervisor's classification: ``"crash"`` (process exit /
+        dead pipe), ``"hang"`` (deadline missed), ``"poison"``
+        (malformed pack rejected by wire validation), or ``"error"``
+        (the worker shipped its own traceback).
     """
 
-    def __init__(self, message: str, worker_traceback: Optional[str] = None):
+    def __init__(
+        self,
+        message: str,
+        worker_traceback: Optional[str] = None,
+        *,
+        worker: Optional[int] = None,
+        shard: Optional[Tuple[int, int]] = None,
+        window: Optional[int] = None,
+        fault_class: Optional[str] = None,
+    ):
         super().__init__(message)
         self.worker_traceback = worker_traceback
+        self.worker = worker
+        self.shard = shard
+        self.window = window
+        self.fault_class = fault_class
+
+    @classmethod
+    def from_fault(
+        cls,
+        handle,
+        fault_class: str,
+        detail: str,
+        window: Optional[int] = None,
+        worker_traceback: Optional[str] = None,
+    ) -> "ShardedWorkerError":
+        at = "" if window is None else f" at window {window}"
+        return cls(
+            f"shard worker {handle.index} (sites [{handle.site_lo}, "
+            f"{handle.site_hi})){at} [{fault_class}]: {detail}",
+            worker_traceback,
+            worker=handle.index,
+            shard=(handle.site_lo, handle.site_hi),
+            window=window,
+            fault_class=fault_class,
+        )
+
+
+class _WorkerFault(Exception):
+    """Internal: one classified worker fault (crash/hang/poison) with
+    enough context to recover in place or degrade.  Converted to
+    :class:`ShardedWorkerError` via :meth:`to_error` when it must
+    surface to the caller."""
+
+    def __init__(self, handle, fault_class, detail, window=None) -> None:
+        super().__init__(detail)
+        self.handle = handle
+        self.fault_class = fault_class
+        self.detail = detail
+        self.window = window
+
+    def to_error(self) -> ShardedWorkerError:
+        return ShardedWorkerError.from_fault(
+            self.handle, self.fault_class, self.detail, self.window
+        )
+
+
+class _LadderFault(Exception):
+    """Internal: a fault that window-boundary recovery cannot (or may
+    no longer) handle — the run must take the degradation ladder."""
+
+    def __init__(self, fault: _WorkerFault) -> None:
+        super().__init__(fault.detail)
+        self.fault = fault
 
 
 def _attach_shm(name: str):
@@ -325,6 +457,18 @@ class _WorkerShard:
             if payload.get("metrics")
             else None
         )
+        #: Supervision / recovery fields (absent pre-supervisor payloads
+        #: keep working: every key defaults to the unsupervised shape).
+        self.worker: int = payload.get("worker", 0)
+        self.supervised: bool = bool(payload.get("supervised"))
+        #: Chaos seams: planned ``(kind, window)`` faults for this
+        #: worker (test-only; empty/None in production).
+        self.faults = payload.get("faults") or ()
+        #: Deterministic recovery: fast-forward the first ``resume``
+        #: windows from ``history`` (their committed control lists)
+        #: without shipping anything, then rejoin the live protocol.
+        self.resume: int = payload.get("resume", 0)
+        self.history: List[list] = payload.get("history") or []
 
     def drain_metrics(self):
         """Return-and-reset the accumulated telemetry as the flat
@@ -345,6 +489,7 @@ class _WorkerShard:
         hi: int,
         min_site: Optional[int] = None,
         slot: int = 0,
+        encode: bool = True,
     ):
         """Run the shard's site passes for global window ``[lo, hi)``.
 
@@ -359,7 +504,10 @@ class _WorkerShard:
         the rollback suffix.  Pack contents are also invariant to the
         shared-prep shortcut, so the suffix pass simply skips it.
         ``slot`` selects which ring slot the window's packs encode
-        into (always 0 in lockstep mode).
+        into (always 0 in lockstep mode).  ``encode=False`` runs the
+        pass purely for its state effects (RNG advances, per-site
+        accounting) without serializing anything — the recovery replay
+        of already-committed windows.
         """
         i0, i1 = self.view.window_bounds(lo, hi)
         if i0 == i1:
@@ -368,7 +516,7 @@ class _WorkerShard:
         if metrics is not None:
             t_start = time.perf_counter()
             if min_site is None:
-                metrics["windows"] += 1
+                metrics["windows" if encode else "replay_windows"] += 1
         site_ids, starts, ends, idents_sorted, weights_sorted = (
             self.view.window_order(i0, i1)
         )
@@ -399,6 +547,10 @@ class _WorkerShard:
                     None if window_prep is None else (window_prep, start, end)
                 ),
             )
+            if not encode:
+                if not isinstance(result, MessagePack):
+                    list(result)  # drive lazy hooks for their state effects
+                continue
             descriptor = self._encode(site_id, result)
             if descriptor is not None:
                 out.append(descriptor)
@@ -550,6 +702,58 @@ def _send_state(shard: _WorkerShard, conn) -> None:
         conn.send(("sta", shard.site_lo, pickled, shard.drain_metrics()))
 
 
+def _replay_history(shard: _WorkerShard) -> None:
+    """Fast-forward a respawned worker through its shard's already
+    committed windows, without shipping anything.
+
+    Per window the live protocol leaves each site in the state
+    "pre-window state, then the controls triggered by *earlier* sites
+    (rolls pre-apply them before the site's final compute), then the
+    compute, then the remaining controls (applied at commit)".  The
+    replay reproduces exactly that placement from the committed control
+    lists, so end-of-window site states — including RNG positions —
+    are bit-identical to the run that faulted.
+    """
+    for t in range(shard.resume):
+        lo, hi = shard.windows[t]
+        controls = shard.history[t] if t < len(shard.history) else []
+        if controls:
+            for idx, site in enumerate(shard.sites):
+                site_id = shard.site_lo + idx
+                for _, dest, ctrl in controls[: _prefix_len(controls, site_id)]:
+                    if dest == BROADCAST or dest == site_id:
+                        site.on_control(ctrl)
+        shard.compute_window(lo, hi, encode=False)
+        if controls:
+            for idx, site in enumerate(shard.sites):
+                site_id = shard.site_lo + idx
+                for _, dest, ctrl in controls[_prefix_len(controls, site_id):]:
+                    if dest == BROADCAST or dest == site_id:
+                        site.on_control(ctrl)
+
+
+def _send_results(shard: _WorkerShard, conn, t: int, results) -> None:
+    """Ship one lockstep window's descriptors, through the chaos seams:
+    a planned wire fault mangles the descriptors; a planned process
+    fault kills/hangs/drops instead of sending.  With no plan (every
+    production run) this is exactly the plain send."""
+    if shard.faults:
+        wire = fault_action(shard.faults, t, ("corrupt", "truncate"))
+        if wire is not None:
+            results = corrupt_descriptors(list(results), wire)
+        action = fault_action(shard.faults, t, ("kill", "hang", "drop"))
+        if action == "kill":
+            chaos_exit()
+        elif action == "hang":
+            block_forever()
+        elif action == "drop":
+            return
+    if shard.metrics is None:
+        conn.send(("res", results))
+    else:
+        conn.send(("res", results, shard.drain_metrics()))
+
+
 def _worker_run(shard: _WorkerShard, conn) -> None:
     """The lockstep window protocol, worker side, for one run.
 
@@ -558,23 +762,32 @@ def _worker_run(shard: _WorkerShard, conn) -> None:
     re-apply each control message to exactly the sites after its
     trigger, recompute, resend the suffix) until the parent ``com``mits
     — at which point every site applies the control messages it has not
-    seen yet and the next window starts.
+    seen yet and the next window starts.  Under supervision two more
+    commands exist: a respawned worker starts with a
+    :func:`_replay_history` fast-forward, and ``rwd`` rewinds the
+    current (uncommitted) window to its pre-window snapshot so the
+    parent can retry it after another worker's fault.
     """
-    for lo, hi in shard.windows:
+    if shard.resume:
+        _replay_history(shard)
+    for t in range(shard.resume, len(shard.windows)):
+        lo, hi = shard.windows[t]
         i0, i1 = shard.view.window_bounds(lo, hi)
         # Pre-window state, captured BEFORE the compute so rollback
         # replays from exactly this point (same RNG positions).
-        # Skipped when the shard has no arrivals (nothing mutates);
-        # controls are then applied incrementally instead.
-        snapshot = _snapshot_sites(shard.sites) if i0 != i1 else None
+        # Skipped when the shard has no arrivals (nothing mutates) —
+        # except under supervision, where a post-fault ``rwd`` must be
+        # able to undo controls a roll applied mid-window.
+        snapshot = (
+            _snapshot_sites(shard.sites)
+            if i0 != i1 or shard.supervised
+            else None
+        )
         if snapshot is not None and shard.metrics is not None:
             shard.metrics["snapshots"] += 1
         results = shard.compute_window(lo, hi)
         applied = [0] * len(shard.sites)
-        if shard.metrics is None:
-            conn.send(("res", results))
-        else:
-            conn.send(("res", results, shard.drain_metrics()))
+        _send_results(shard, conn, t, results)
         while True:
             message = conn.recv()
             tag = message[0]
@@ -586,10 +799,19 @@ def _worker_run(shard: _WorkerShard, conn) -> None:
                 replacements = _apply_roll(
                     shard, lo, hi, snapshot, applied, from_site, controls
                 )
-                if shard.metrics is None:
-                    conn.send(("res", replacements))
-                else:
-                    conn.send(("res", replacements, shard.drain_metrics()))
+                _send_results(shard, conn, t, replacements)
+                continue
+            if tag == "rwd":
+                if message[1] != t:
+                    raise ProtocolViolationError(
+                        f"rwd for window {message[1]} but worker is at {t}"
+                    )
+                if snapshot is not None:
+                    _restore_sites(shard, snapshot)
+                applied = [0] * len(shard.sites)
+                results = shard.compute_window(lo, hi)
+                conn.send(("rwdok",))
+                _send_results(shard, conn, t, results)
                 continue
             raise ProtocolViolationError(
                 f"shard worker got unexpected command {tag!r}"
@@ -660,12 +882,27 @@ def _worker_run_pipelined(shard: _WorkerShard, conn) -> None:
             t0 = time.perf_counter()
             results = shard.compute_window(lo, hi, slot=nxt % 2)
             elapsed = time.perf_counter() - t0
-            if shard.metrics is None:
-                conn.send(("res", nxt, results, elapsed))
-            else:
-                conn.send(
-                    ("res", nxt, results, elapsed, shard.drain_metrics())
+            dropped = False
+            if shard.faults:
+                wire = fault_action(shard.faults, nxt, ("corrupt", "truncate"))
+                if wire is not None:
+                    results = corrupt_descriptors(list(results), wire)
+                action = fault_action(
+                    shard.faults, nxt, ("kill", "hang", "drop")
                 )
+                if action == "kill":
+                    chaos_exit()
+                elif action == "hang":
+                    block_forever()
+                elif action == "drop":
+                    dropped = True
+            if not dropped:
+                if shard.metrics is None:
+                    conn.send(("res", nxt, results, elapsed))
+                else:
+                    conn.send(
+                        ("res", nxt, results, elapsed, shard.drain_metrics())
+                    )
             entries.append(_SpecWindow(nxt, lo, hi, snapshot, num_sites))
             nxt += 1
         message = conn.recv()
@@ -683,6 +920,10 @@ def _worker_run_pipelined(shard: _WorkerShard, conn) -> None:
                             break
                     if miss:
                         break
+            if shard.faults and fault_action(
+                shard.faults, head.t, ("stall_ack",)
+            ):
+                block_forever()
             conn.send(("ack", head.t, not miss))
             if miss:
                 if entries:
@@ -717,6 +958,14 @@ def _worker_run_pipelined(shard: _WorkerShard, conn) -> None:
                 controls,
                 slot=head.t % 2,
             )
+            if shard.faults:
+                wire = fault_action(
+                    shard.faults, head.t, ("corrupt", "truncate")
+                )
+                if wire is not None:
+                    replacements = corrupt_descriptors(
+                        list(replacements), wire
+                    )
             if shard.metrics is None:
                 conn.send(("rep", head.t, replacements))
             else:
@@ -831,42 +1080,231 @@ def _unlink_segments(shms) -> None:
     for shm in shms:
         try:
             shm.close()
-        except BufferError:  # pragma: no cover - live views remain
-            pass
+        except BufferError:
+            # Live pack views still reference the mapping (a fault can
+            # surface mid-fold with decoded descriptors in flight).
+            # Drop our handles instead: the mmap is released when the
+            # last view dies, and ``__del__`` then has nothing left to
+            # close — a second ``close()`` would raise the same
+            # BufferError unraisably at garbage collection.
+            shm._buf = None
+            shm._mmap = None
         try:
             shm.unlink()
         except FileNotFoundError:  # pragma: no cover - already gone
             pass
 
 
+def _reap_handle(handle) -> None:
+    """Impolite teardown of one (dead, hung, or poisoned) worker: close
+    the pipe, then terminate -> kill.  Its ring segment is deliberately
+    kept — a replacement worker re-attaches the same name."""
+    try:
+        handle.conn.close()
+    except Exception:
+        pass
+    process = handle.process
+    try:
+        if process.is_alive():
+            process.terminate()
+        process.join(timeout=_JOIN_TIMEOUT)
+        if process.is_alive():  # pragma: no cover - unkillable
+            process.kill()
+            process.join(timeout=_JOIN_TIMEOUT)
+    except Exception:  # pragma: no cover - reap is best-effort
+        pass
+
+
 def _shutdown_pool(pool) -> None:
     """Tear a worker pool down: polite bye, then force, then unlink.
 
     Module-level (not a method) so ``weakref.finalize`` can run it
-    after the engine is gone; idempotence comes from the finalize
-    wrapper calling it at most once per pool.
+    after the engine is gone.  Idempotent on its own via the ``closed``
+    flag (recovery paths call it directly, and a failed spawn may have
+    called it before ``close()`` does), and the shared-memory unlink
+    runs in a ``finally`` so ``/dev/shm`` segments are released even
+    when a worker refuses to die within the join timeouts.
     """
-    for handle in pool["handles"]:
-        try:
-            handle.conn.send(("bye",))
-        except Exception:
-            pass
-    for handle in pool["handles"]:
-        try:
-            handle.conn.close()
-        except OSError:  # pragma: no cover - already closed
-            pass
-    for handle in pool["handles"]:
-        process = handle.process
-        process.join(timeout=10)
-        if process.is_alive():  # pragma: no cover - stuck worker
-            process.terminate()
-            process.join(timeout=10)
-        if process.is_alive():  # pragma: no cover - unkillable
-            process.kill()
-            process.join(timeout=10)
-    stream = pool.get("stream")
-    _unlink_segments(pool["rings"] + (stream["shms"] if stream else []))
+    if pool.get("closed"):
+        return
+    pool["closed"] = True
+    try:
+        for handle in pool["handles"]:
+            try:
+                if handle.process.is_alive():
+                    handle.conn.send(("bye",))
+            except Exception:
+                pass
+        for handle in pool["handles"]:
+            try:
+                handle.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        for handle in pool["handles"]:
+            process = handle.process
+            try:
+                process.join(timeout=_JOIN_TIMEOUT)
+                if process.is_alive():  # pragma: no cover - stuck worker
+                    process.terminate()
+                    process.join(timeout=_JOIN_TIMEOUT)
+                if process.is_alive():  # pragma: no cover - unkillable
+                    process.kill()
+                    process.join(timeout=_JOIN_TIMEOUT)
+            except Exception:  # pragma: no cover - reap is best-effort
+                pass
+    finally:
+        stream = pool.get("stream")
+        _unlink_segments(pool["rings"] + (stream["shms"] if stream else []))
+
+
+def _checkpoint_network(network):
+    """Run-start checkpoint of everything the parent would need to
+    restart the run from scratch on a lower ladder rung: site states
+    (pickled wholesale — workers get slices of this on redispatch),
+    the coordinator state, and the message counters."""
+    coordinator_state = network.coordinator.snapshot_state()
+    if coordinator_state is None:
+        coordinator_state = (
+            "pickle",
+            pickle.dumps(
+                network.coordinator, protocol=pickle.HIGHEST_PROTOCOL
+            ),
+        )
+    else:
+        coordinator_state = ("fast", coordinator_state)
+    return {
+        "sites": pickle.dumps(
+            network.sites, protocol=pickle.HIGHEST_PROTOCOL
+        ),
+        "coordinator": coordinator_state,
+        "counters": network.counters.snapshot_state(),
+        "items_processed": network.items_processed,
+    }
+
+
+def _restore_network(network, checkpoint) -> None:
+    """Rewind a network to its run-start checkpoint (degradation
+    ladder: the next rung replays the whole run deterministically)."""
+    for mirror, saved in zip(
+        network.sites, pickle.loads(checkpoint["sites"])
+    ):
+        _adopt_site_state(mirror, saved)
+    kind, state = checkpoint["coordinator"]
+    if kind == "fast":
+        network.coordinator.restore_state(state)
+    else:
+        network.coordinator = pickle.loads(state)
+    network.counters.restore_state(checkpoint["counters"])
+    network.items_processed = checkpoint["items_processed"]
+
+
+class _WindowAttempt:
+    """Parent-side fold progress for one supervised lockstep window.
+
+    A post-fault retry refolds the window from its start; the refold is
+    bit-identical to the faulted attempt (same restored coordinator,
+    same recomputed packs, same order), so downstream delivery number
+    ``i`` of the retry *is* delivery number ``i`` of the original.
+    ``delivered`` counts deliveries whose site-mirror ``on_control``
+    already ran (mirrors are not snapshotted — unlike the coordinator
+    and counters, which rewind); the retry skips re-applying those
+    while still re-recording their (rewound) counter traffic.
+    """
+
+    __slots__ = ("window", "folded", "delivered", "seen")
+
+    def __init__(self, window: int) -> None:
+        self.window = window
+        self.folded = False  # any coordinator fold ran this window
+        self.delivered = 0  # mirror deliveries that must not re-apply
+        self.seen = 0  # deliveries seen so far in the current attempt
+
+
+def _deliver_guarded(network, attempt, dest, response) -> None:
+    """Deliver one coordinator response downstream, skipping the
+    site-mirror re-application for deliveries a pre-fault fold of the
+    same window already made (see :class:`_WindowAttempt`)."""
+    if attempt is not None:
+        attempt.seen += 1
+        if attempt.seen <= attempt.delivered:
+            counters = network.counters
+            if dest == BROADCAST:
+                counters.record_downstream(
+                    response, copies=network.num_sites
+                )
+            else:
+                counters.record_downstream(response, copies=1)
+            return
+        attempt.delivered += 1
+    network.deliver_downstream(dest, response)
+
+
+class WorkerSupervisor:
+    """Parent-side supervision state for one sharded run.
+
+    Owns fault classification bookkeeping (the fault log, restart
+    budget, capped-backoff respawns), per-worker heartbeats, the
+    run-start network checkpoint the degradation ladder restores, and
+    the per-run clone of the engine's chaos :class:`FaultPlan`.
+    Created per ``run()`` when ``supervision="on"`` (the default).
+    """
+
+    def __init__(self, timeout, max_restarts, plan, registry) -> None:
+        self.timeout = float(timeout)
+        self.max_restarts = int(max_restarts)
+        self.plan: Optional[FaultPlan] = (
+            plan.clone() if plan is not None else None
+        )
+        self.registry = registry
+        self.restarts = 0
+        self.fault_log: List[dict] = []
+        self.recovery_seconds = 0.0
+        self.checkpoint = None  # run-start network checkpoint (or None)
+        self.last_seen: dict = {}  # worker index -> perf_counter stamp
+        #: One-shot deadline extensions: a freshly respawned worker
+        #: replays every committed window before its first result.
+        self.boost: dict = {}
+
+    def deadline(self, handle) -> float:
+        return self.boost.get(handle.index, 0.0) + self.timeout
+
+    def heartbeat(self, handle) -> None:
+        self.boost.pop(handle.index, None)
+        self.last_seen[handle.index] = time.perf_counter()
+
+    def export_heartbeats(self) -> None:
+        if not self.registry.enabled or not self.last_seen:
+            return
+        now = time.perf_counter()
+        for worker in sorted(self.last_seen):
+            observe_heartbeat_age(
+                self.registry, worker, now - self.last_seen[worker]
+            )
+
+    def record_fault(self, fault, window, retire_all=False) -> None:
+        self.fault_log.append(
+            {
+                "worker": fault.handle.index,
+                "window": window,
+                "fault_class": fault.fault_class,
+                "detail": fault.detail,
+            }
+        )
+        if self.plan is not None:
+            self.plan.mark_fired(
+                fault.handle.index, None if retire_all else window
+            )
+        observe_fault(self.registry, fault.fault_class)
+
+    def wire_faults(self, worker: int):
+        if self.plan is None:
+            return None
+        return self.plan.wire_for(worker) or None
+
+    def take_respawn_failure(self, worker: int) -> bool:
+        return self.plan is not None and self.plan.take_respawn_failure(
+            worker
+        )
 
 
 class ShardedEngine(ColumnarEngine):
@@ -893,6 +1331,22 @@ class ShardedEngine(ColumnarEngine):
         parent folds via speculative windows, double-buffered rings,
         and arrival-order coordinator folds (see the module docstring);
         both modes are bit-identical to the columnar engine.
+    worker_timeout:
+        Supervision deadline in seconds: how long a worker may stay
+        silent while the parent waits on it before the supervisor
+        classifies a hang.  Defaults to 60s.
+    max_worker_restarts:
+        In-place window-boundary recoveries allowed per run before the
+        supervisor stops respawning and takes the degradation ladder
+        instead (pipelined -> lockstep -> in-process columnar).
+    fault_plan:
+        Chaos injection (testing only): a :class:`~repro.faults.FaultPlan`
+        or its ``"kind:worker:window,..."`` string form.  Cloned per
+        run; ``None`` (production) leaves every seam inert.
+    supervision:
+        ``"on"`` (default) or ``"off"``.  Off restores the fail-stop
+        behavior: any worker fault tears the pool down and raises
+        :class:`ShardedWorkerError`.
     """
 
     name = "sharded"
@@ -905,6 +1359,10 @@ class ShardedEngine(ColumnarEngine):
         transport: str = "auto",
         pipeline: str = "auto",
         kernels=None,
+        worker_timeout: Optional[float] = None,
+        max_worker_restarts: int = 2,
+        fault_plan=None,
+        supervision: str = "on",
     ) -> None:
         super().__init__(
             batch_size=batch_size,
@@ -923,9 +1381,34 @@ class ShardedEngine(ColumnarEngine):
             raise ConfigurationError(
                 f"pipeline must be 'auto', 'on', or 'off', got {pipeline!r}"
             )
+        if worker_timeout is None:
+            worker_timeout = _DEFAULT_WORKER_TIMEOUT
+        if worker_timeout <= 0:
+            raise ConfigurationError(
+                f"worker_timeout must be > 0, got {worker_timeout}"
+            )
+        if max_worker_restarts < 0:
+            raise ConfigurationError(
+                f"max_worker_restarts must be >= 0, got {max_worker_restarts}"
+            )
+        if supervision not in ("on", "off"):
+            raise ConfigurationError(
+                f"supervision must be 'on' or 'off', got {supervision!r}"
+            )
+        if isinstance(fault_plan, str):
+            fault_plan = parse_fault_plan(fault_plan)
+        if fault_plan is not None and not isinstance(fault_plan, FaultPlan):
+            raise ConfigurationError(
+                f"fault_plan must be a FaultPlan or its string form, "
+                f"got {fault_plan!r}"
+            )
         self.workers = int(workers)
         self.transport = transport
         self.pipeline = pipeline
+        self.worker_timeout = float(worker_timeout)
+        self.max_worker_restarts = int(max_worker_restarts)
+        self.fault_plan = fault_plan
+        self.supervision = supervision
         self._pipelined = pipeline != "off"
         #: Observability: how the last ``run`` executed (mode, effective
         #: transport, window/rollback/speculation counts, per-window
@@ -1009,15 +1492,31 @@ class ShardedEngine(ColumnarEngine):
             reason = "non-shardable site"
         marks: List[int] = []
         pool = None
+        supervisor = None
         if reason is None:
             base = network.items_processed
             if checkpoints is not None and on_checkpoint is not None:
                 marks = sorted(
                     t - base for t in set(checkpoints) if base < t <= base + n
                 )
+            if self.supervision == "on":
+                supervisor = WorkerSupervisor(
+                    self.worker_timeout,
+                    self.max_worker_restarts,
+                    self.fault_plan,
+                    self.registry,
+                )
+                try:
+                    supervisor.checkpoint = _checkpoint_network(network)
+                except Exception:
+                    # Unpicklable network: supervise (classify faults,
+                    # enforce deadlines) without recovery or ladder.
+                    supervisor.checkpoint = None
             try:
                 pool, warm = self._get_pool(workers)
-                self._dispatch_run(pool, network, arrays, n, marks)
+                self._dispatch_run(
+                    pool, network, arrays, n, marks, supervisor=supervisor
+                )
             except Exception as exc:
                 self.close()
                 pool = None
@@ -1038,22 +1537,114 @@ class ShardedEngine(ColumnarEngine):
                 checkpoints=checkpoints,
                 on_checkpoint=on_checkpoint,
             )
+        pipelined = self._pipelined
+        degraded: List[str] = []
         try:
-            run_windows = (
-                self._run_windows_pipelined
-                if self._pipelined
-                else self._run_windows
-            )
-            counters = run_windows(
-                network, pool, n, marks, set(marks), on_step, on_checkpoint
-            )
+            while True:
+                try:
+                    run_windows = (
+                        self._run_windows_pipelined
+                        if pipelined
+                        else self._run_windows
+                    )
+                    counters = run_windows(
+                        network,
+                        pool,
+                        n,
+                        marks,
+                        set(marks),
+                        on_step,
+                        on_checkpoint,
+                        supervisor,
+                    )
+                    break
+                except (_WorkerFault, _LadderFault) as exc:
+                    fault = exc.fault if isinstance(exc, _LadderFault) else exc
+                    if supervisor is not None and isinstance(
+                        exc, _WorkerFault
+                    ):
+                        # Ladder faults were logged where they were
+                        # classified; bare faults get logged here.  In
+                        # pipelined mode the worker speculates one
+                        # window ahead of the fold the fault surfaced
+                        # in, so the whole plan entry set for this
+                        # worker is retired, not just a window prefix.
+                        supervisor.record_fault(
+                            fault, fault.window, retire_all=True
+                        )
+                    if supervisor is None or supervisor.checkpoint is None:
+                        _reap_handle(fault.handle)
+                        self.close()
+                        raise fault.to_error() from None
+                    # Degradation ladder: reap + tear down, restore the
+                    # run-start checkpoint, rerun on the next rung.
+                    _reap_handle(fault.handle)
+                    self.close()
+                    pool = None
+                    _restore_network(network, supervisor.checkpoint)
+                    rung = "lockstep" if pipelined else "columnar"
+                    pipelined = False
+                    degraded.append(rung)
+                    observe_degradation(self.registry, rung)
+                    if rung == "lockstep":
+                        try:
+                            pool, warm = self._get_pool(workers)
+                            self._dispatch_run(
+                                pool,
+                                network,
+                                arrays,
+                                n,
+                                marks,
+                                pipelined=False,
+                                supervisor=supervisor,
+                            )
+                            continue
+                        except Exception:
+                            self.close()
+                            pool = None
+                            rung = "columnar"
+                            degraded.append(rung)
+                            observe_degradation(self.registry, rung)
+                    # Bottom rung: the in-process columnar engine.
+                    self.last_run_stats = {
+                        "mode": "degraded",
+                        "reason": (
+                            f"fault recovery exhausted "
+                            f"({fault.fault_class}: {fault.detail})"
+                        ),
+                        "rung": "columnar",
+                    }
+                    counters = ColumnarEngine.run(
+                        self,
+                        network,
+                        stream,
+                        on_step=on_step,
+                        checkpoints=checkpoints,
+                        on_checkpoint=on_checkpoint,
+                    )
+                    break
             stats = self.last_run_stats
-            stats["warm_pool"] = warm
-            seconds = time.perf_counter() - t_run
-            stats["engine"] = self.name
-            stats["items"] = n
-            stats["seconds"] = seconds
-            if self.registry.enabled:
+            if stats.get("mode") == "sharded":
+                stats["warm_pool"] = warm
+                seconds = time.perf_counter() - t_run
+                stats["engine"] = self.name
+                stats["items"] = n
+                stats["seconds"] = seconds
+            if supervisor is not None:
+                stats["supervision"] = {
+                    "worker_timeout": supervisor.timeout,
+                    "max_worker_restarts": supervisor.max_restarts,
+                }
+                if supervisor.fault_log:
+                    stats["faults"] = supervisor.fault_log
+                    stats["worker_restarts"] = supervisor.restarts
+                    stats["recovery_seconds"] = supervisor.recovery_seconds
+                if degraded:
+                    stats["degraded_to"] = degraded[-1]
+                    stats["degraded_from"] = (
+                        "pipelined" if self._pipelined else "lockstep"
+                    )
+            if self.registry.enabled and stats.get("mode") == "sharded":
                 self._export_run(
                     network, n, seconds, windows=stats.get("windows")
                 )
@@ -1103,6 +1694,8 @@ class ShardedEngine(ColumnarEngine):
             "transport": "shm" if use_shm else "pipe",
             "use_shm": use_shm,
             "slots": slots,
+            "slot_bytes": slot_bytes,
+            "closed": False,
         }
         try:
             for index in range(workers):
@@ -1143,7 +1736,9 @@ class ShardedEngine(ColumnarEngine):
             raise
         return pool
 
-    def _dispatch_run(self, pool, network, arrays, n, marks) -> None:
+    def _dispatch_run(
+        self, pool, network, arrays, n, marks, pipelined=None, supervisor=None
+    ) -> None:
         """Ship each worker its shard for this run: site states, the
         stream columns, and the window schedule.
 
@@ -1158,6 +1753,8 @@ class ShardedEngine(ColumnarEngine):
         """
         from ..stream.columns import ShardSliceView
 
+        if pipelined is None:
+            pipelined = self._pipelined
         assignment, weights, idents = arrays
         num_sites = network.num_sites
         workers = pool["workers"]
@@ -1183,12 +1780,22 @@ class ShardedEngine(ColumnarEngine):
                 "num_sites": num_sites,
                 "token": token,
                 "shms": shms,
+                # Kept for worker respawns: a fresh process has an
+                # empty stream cache, so it re-attaches the full
+                # segment instead of referencing ("cached", token).
+                "spec_full": specs[0] if specs is not None else None,
             }
             if cache is not None:
                 _unlink_segments(cache["shms"])
         else:
             token = cache["token"]
             specs = [("cached", token)] * workers
+        pool["run"] = {
+            "n": n,
+            "marks": marks,
+            "metrics": bool(self.registry.enabled),
+            "pipelined": pipelined,
+        }
         for handle in pool["handles"]:
             handle.site_lo, handle.site_hi = ShardSliceView.shard_range(
                 num_sites, workers, handle.index
@@ -1217,7 +1824,7 @@ class ShardedEngine(ColumnarEngine):
                 "initial_batch_size": self.initial_batch_size,
                 "marks": marks,
                 "stream": stream_spec,
-                "pipeline": self._pipelined,
+                "pipeline": pipelined,
                 # The parent's resolved kernel backend by name; workers
                 # re-resolve with strict=False so a backend the worker
                 # interpreter cannot import degrades to auto, not a
@@ -1227,6 +1834,13 @@ class ShardedEngine(ColumnarEngine):
                 # (WORKER_METRIC_NAMES order) to result messages; when
                 # falsy the wire shape is untouched.
                 "metrics": bool(self.registry.enabled),
+                "worker": handle.index,
+                "supervised": supervisor is not None,
+                "faults": (
+                    supervisor.wire_faults(handle.index)
+                    if supervisor is not None
+                    else None
+                ),
             }
             self._send(handle, ("run", payload))
 
@@ -1234,7 +1848,15 @@ class ShardedEngine(ColumnarEngine):
     # -- the lockstep fold ---------------------------------------------
 
     def _run_windows(
-        self, network, pool, n, marks, mark_set, on_step, on_checkpoint
+        self,
+        network,
+        pool,
+        n,
+        marks,
+        mark_set,
+        on_step,
+        on_checkpoint,
+        supervisor=None,
     ) -> "MessageCounters":
         handles = pool["handles"]
         windows = list(
@@ -1245,57 +1867,109 @@ class ShardedEngine(ColumnarEngine):
         wait_total = 0.0
         fold_total = 0.0
         per_window = []
-        for lo, hi in windows:
-            t0 = time.perf_counter()
-            pending = {}
-            worker_deltas = []
-            for handle in handles:
-                message = self._recv(handle)
-                for descriptor in message[1]:
-                    pending[descriptor[0]] = (handle, descriptor)
-                if len(message) > 2 and message[2]:
-                    worker_deltas.append((handle.index, message[2]))
-            t1 = time.perf_counter()
-            controls: List[Tuple[int, int, object]] = []
-            order = sorted(pending)
-            i = 0
-            while i < len(order):
-                site_id = order[i]
-                handle, descriptor = pending.pop(site_id)
-                responses = self._fold(
-                    network, site_id, self._decode(handle, descriptor)
+        history: List[list] = []
+        coordinator = network.coordinator
+        counters = network.counters
+        t_idx = 0
+        attempt: Optional[_WindowAttempt] = None
+        while t_idx < len(windows):
+            lo, hi = windows[t_idx]
+            snap = None
+            if supervisor is not None:
+                # Window-start snapshot of what the parent mutates
+                # while folding; a mid-window fault rewinds to it.
+                snap = (
+                    coordinator.snapshot_state(),
+                    counters.snapshot_state(),
                 )
-                if responses:
-                    controls.extend(
-                        (site_id, dest, message) for dest, message in responses
+                if attempt is None or attempt.window != t_idx:
+                    attempt = _WindowAttempt(t_idx)
+                attempt.seen = 0
+                attempt.folded = False
+            guard = attempt if supervisor is not None else None
+            attempt_rollbacks = 0
+            try:
+                t0 = time.perf_counter()
+                pending = {}
+                worker_deltas = []
+                for handle in handles:
+                    message = self._recv(handle, supervisor, t_idx)
+                    for descriptor in message[1]:
+                        pending[descriptor[0]] = (handle, descriptor)
+                    if len(message) > 2 and message[2]:
+                        worker_deltas.append((handle.index, message[2]))
+                t1 = time.perf_counter()
+                controls: List[Tuple[int, int, object]] = []
+                order = sorted(pending)
+                i = 0
+                while i < len(order):
+                    site_id = order[i]
+                    handle, descriptor = pending.pop(site_id)
+                    if guard is not None:
+                        attempt.folded = True
+                    responses = self._fold(
+                        network,
+                        site_id,
+                        self._decode(handle, descriptor, t_idx),
+                        guard,
                     )
-                    needs_roll = any(
-                        dest == BROADCAST or dest > site_id
-                        for dest, _ in responses
-                    )
-                    affected = [h for h in handles if h.site_hi - 1 > site_id]
-                    if needs_roll and affected:
-                        rollbacks += 1
-                        for h in affected:
-                            self._send(h, ("roll", site_id, controls))
-                        for stale in [s for s in pending if s > site_id]:
-                            del pending[stale]
-                        for h in affected:
-                            message = self._recv(h)
-                            for descriptor in message[1]:
-                                pending[descriptor[0]] = (h, descriptor)
-                            if len(message) > 2 and message[2]:
-                                worker_deltas.append((h.index, message[2]))
-                        order = order[: i + 1] + sorted(
-                            s for s in pending if s > site_id
+                    if responses:
+                        controls.extend(
+                            (site_id, dest, message)
+                            for dest, message in responses
                         )
-                i += 1
-            controls_total += len(controls)
+                        needs_roll = any(
+                            dest == BROADCAST or dest > site_id
+                            for dest, _ in responses
+                        )
+                        affected = [
+                            h for h in handles if h.site_hi - 1 > site_id
+                        ]
+                        if needs_roll and affected:
+                            attempt_rollbacks += 1
+                            for h in affected:
+                                self._send(
+                                    h, ("roll", site_id, controls), t_idx
+                                )
+                            for stale in [s for s in pending if s > site_id]:
+                                del pending[stale]
+                            for h in affected:
+                                message = self._recv(h, supervisor, t_idx)
+                                for descriptor in message[1]:
+                                    pending[descriptor[0]] = (h, descriptor)
+                                if len(message) > 2 and message[2]:
+                                    worker_deltas.append(
+                                        (h.index, message[2])
+                                    )
+                            order = order[: i + 1] + sorted(
+                                s for s in pending if s > site_id
+                            )
+                    i += 1
+            except _WorkerFault as fault:
+                if supervisor is None:
+                    raise
+                self._recover_window(
+                    supervisor, network, pool, t_idx, history, fault,
+                    snap, attempt,
+                )
+                continue
+            # Commit phase.  A fault here is NOT window-recoverable —
+            # a worker that already received the com advances its sites
+            # irreversibly — so it goes straight to the ladder.
+            try:
+                for handle in handles:
+                    self._send(handle, ("com", controls), t_idx)
+            except _WorkerFault as fault:
+                if supervisor is None:
+                    raise
+                supervisor.record_fault(fault, t_idx)
+                raise _LadderFault(fault) from None
             for worker, deltas in worker_deltas:
                 merge_worker_deltas(self.registry, worker, deltas)
-            for handle in handles:
-                self._send(handle, ("com", controls))
             t2 = time.perf_counter()
+            rollbacks += attempt_rollbacks
+            controls_total += len(controls)
+            history.append(controls)
             wait_total += t1 - t0
             fold_total += t2 - t1
             per_window.append(
@@ -1306,16 +1980,19 @@ class ShardedEngine(ColumnarEngine):
                     "controls": len(controls),
                 }
             )
+            if supervisor is not None:
+                supervisor.export_heartbeats()
             network.items_processed += hi - lo
             t = network.items_processed
             if on_step is not None:
                 on_step(t)
             if hi in mark_set:
                 on_checkpoint(t)
+            t_idx += 1
         for handle in handles:
             self._send(handle, ("fin",))
         for handle in handles:
-            message = self._recv(handle)
+            message = self._recv(handle, supervisor)
             if message[0] != "sta":  # pragma: no cover - protocol bug guard
                 raise ShardedWorkerError(
                     f"shard worker {handle.index} sent {message[0]!r} "
@@ -1345,11 +2022,185 @@ class ShardedEngine(ColumnarEngine):
         }
         return network.counters
 
+    # -- window-boundary recovery (lockstep, supervised) ---------------
+
+    def _recover_window(
+        self, supervisor, network, pool, t_idx, history, fault, snap, attempt
+    ) -> None:
+        """Recover from one classified worker fault without losing the
+        run: reap and respawn the dead shard's worker, fast-forward it
+        through the committed windows, rewind the survivors (and the
+        parent's coordinator/counters) to the window boundary, and let
+        the window loop retry.  The retry is bit-identical to a
+        fault-free run.  Raises :class:`_LadderFault` when recovery is
+        out of budget or structurally impossible.
+        """
+        t_start = time.perf_counter()
+        supervisor.record_fault(fault, t_idx)
+        if supervisor.restarts >= supervisor.max_restarts:
+            raise _LadderFault(fault) from None
+        supervisor.restarts += 1
+        if supervisor.checkpoint is None:
+            # No run-start site states -> cannot rebuild the dead shard.
+            raise _LadderFault(fault) from None
+        if attempt.folded and snap[0] is None:
+            # Partial folds reached a coordinator that cannot rewind.
+            raise _LadderFault(fault) from None
+        dead = fault.handle
+        try:
+            handle = self._respawn_worker(pool, dead, supervisor)
+            self._redispatch_worker(pool, handle, t_idx, history, supervisor)
+            for other in pool["handles"]:
+                if other is not handle:
+                    self._send(other, ("rwd", t_idx), t_idx)
+            for other in pool["handles"]:
+                if other is handle:
+                    continue
+                # Drain until the rewind confirmation; anything queued
+                # before it (stale results of the faulted attempt) is
+                # superseded by the resend that follows the rwdok.
+                while True:
+                    message = self._recv(other, supervisor, t_idx)
+                    if message[0] == "rwdok":
+                        break
+        except _WorkerFault as exc:
+            supervisor.record_fault(exc, t_idx)
+            raise _LadderFault(exc) from None
+        if attempt.folded:
+            network.coordinator.restore_state(snap[0])
+            network.counters.restore_state(snap[1])
+        seconds = time.perf_counter() - t_start
+        supervisor.recovery_seconds += seconds
+        observe_recovery(self.registry, dead.index, seconds)
+        # The respawned worker replays t_idx committed windows before
+        # its first result lands: scale its first deadline with that.
+        supervisor.boost[handle.index] = supervisor.timeout * (1 + t_idx)
+
+    def _respawn_worker(self, pool, dead, supervisor):
+        """Replace one reaped worker with a fresh process on the same
+        pool slot (same index, same ring segment), with bounded retries
+        and capped exponential backoff."""
+        from multiprocessing import get_context
+
+        _reap_handle(dead)
+        ctx = get_context("spawn")
+        delay = _RESPAWN_BACKOFF
+        last_exc: Optional[BaseException] = None
+        for _ in range(_RESPAWN_RETRIES):
+            process = None
+            try:
+                if supervisor.take_respawn_failure(dead.index):
+                    raise ShardedWorkerError(
+                        f"injected respawn failure for worker {dead.index}"
+                    )
+                ring_spec = None
+                if dead.ring is not None:
+                    ring_spec = (dead.ring.name, pool["slot_bytes"])
+                parent_conn, child_conn = ctx.Pipe()
+                process = ctx.Process(
+                    target=_worker_main,
+                    args=({"ring": ring_spec}, child_conn),
+                    daemon=True,
+                    name=f"repro-shard-{dead.index}",
+                )
+                process.start()
+                child_conn.close()
+                if not parent_conn.poll(_READY_TIMEOUT):
+                    raise ShardedWorkerError(
+                        f"respawned shard worker {dead.index} not ready "
+                        f"within {_READY_TIMEOUT:.0f}s"
+                    )
+                message = parent_conn.recv()
+                if message[0] != "rdy":
+                    raise ShardedWorkerError(
+                        f"respawned shard worker {dead.index} sent "
+                        f"{message[0]!r} instead of ready"
+                    )
+                handle = _WorkerHandle(
+                    dead.index, process, parent_conn, dead.ring
+                )
+                handle.site_lo, handle.site_hi = dead.site_lo, dead.site_hi
+                pool["handles"][dead.index] = handle
+                return handle
+            except Exception as exc:
+                last_exc = exc
+                if process is not None:
+                    try:
+                        process.terminate()
+                        process.join(timeout=_JOIN_TIMEOUT)
+                    except Exception:  # pragma: no cover - best effort
+                        pass
+                time.sleep(delay)
+                delay = min(delay * 2, _RESPAWN_BACKOFF_CAP)
+        raise _WorkerFault(
+            dead,
+            "crash",
+            f"respawn failed after {_RESPAWN_RETRIES} attempts: {last_exc!r}",
+        ) from last_exc
+
+    def _redispatch_worker(
+        self, pool, handle, resume, history, supervisor
+    ) -> None:
+        """Ship a respawned worker its shard, rebuilt for deterministic
+        recovery: run-start site states (sliced from the supervisor's
+        checkpoint), a fresh stream shipment (its cache died with the
+        old process), and the committed control history to fast-forward
+        through."""
+        from ..stream.columns import ShardSliceView
+
+        run = pool["run"]
+        stream_info = pool["stream"]
+        token = stream_info["token"]
+        if stream_info.get("spec_full") is not None:
+            stream_spec = stream_info["spec_full"]
+        else:
+            arrays = [ref() for ref in stream_info["refs"]]
+            if any(array is None for array in arrays):
+                raise _WorkerFault(
+                    handle,
+                    "crash",
+                    "stream columns were collected; cannot re-ship the "
+                    "shard to a respawned worker",
+                )
+            stream_spec = (
+                "view",
+                ShardSliceView.from_columns(
+                    arrays[0],
+                    arrays[1],
+                    arrays[2],
+                    handle.site_lo,
+                    handle.site_hi,
+                ),
+                token,
+            )
+        sites = pickle.loads(supervisor.checkpoint["sites"])[
+            handle.site_lo : handle.site_hi
+        ]
+        payload = {
+            "site_lo": handle.site_lo,
+            "site_hi": handle.site_hi,
+            "sites": sites,
+            "n": run["n"],
+            "batch_size": self.batch_size,
+            "initial_batch_size": self.initial_batch_size,
+            "marks": run["marks"],
+            "stream": stream_spec,
+            "pipeline": False,
+            "kernels": _active_kernels().name,
+            "metrics": run["metrics"],
+            "worker": handle.index,
+            "supervised": True,
+            "faults": supervisor.wire_faults(handle.index),
+            "resume": resume,
+            "history": list(history),
+        }
+        self._send(handle, ("run", payload))
+
     # -- the pipelined fold --------------------------------------------
 
-    def _pump(self, inbox: _Inbox) -> None:
+    def _pump(self, inbox: _Inbox, supervisor=None, window=None) -> None:
         """Read and file exactly one worker message."""
-        message = self._recv(inbox.handle)
+        message = self._recv(inbox.handle, supervisor, window)
         tag = message[0]
         if tag == "res":
             inbox.res[message[1]] = message[2]
@@ -1375,7 +2226,15 @@ class ShardedEngine(ColumnarEngine):
             )
 
     def _run_windows_pipelined(
-        self, network, pool, n, marks, mark_set, on_step, on_checkpoint
+        self,
+        network,
+        pool,
+        n,
+        marks,
+        mark_set,
+        on_step,
+        on_checkpoint,
+        supervisor=None,
     ) -> "MessageCounters":
         handles = pool["handles"]
         inboxes = [_Inbox(handle) for handle in handles]
@@ -1400,7 +2259,7 @@ class ShardedEngine(ColumnarEngine):
         }
         for u, (lo, hi) in enumerate(windows):
             controls = self._fold_window_pipelined(
-                u, network, handles, inboxes, async_folds, st
+                u, network, handles, inboxes, async_folds, st, supervisor
             )
             st["controls"] += len(controls)
             for inbox in inboxes:
@@ -1411,7 +2270,9 @@ class ShardedEngine(ColumnarEngine):
                         )
                     inbox.deltas.clear()
             for handle in handles:
-                self._send(handle, ("com", u, controls))
+                self._send(handle, ("com", u, controls), u)
+            if supervisor is not None:
+                supervisor.export_heartbeats()
             network.items_processed += hi - lo
             t = network.items_processed
             if on_step is not None:
@@ -1422,7 +2283,7 @@ class ShardedEngine(ColumnarEngine):
             self._send(handle, ("fin",))
         for inbox in inboxes:
             while True:
-                message = self._recv(inbox.handle)
+                message = self._recv(inbox.handle, supervisor)
                 if message[0] == "ack":
                     # The final window's ack: no speculation existed
                     # behind it (there is no next window to compute).
@@ -1471,7 +2332,7 @@ class ShardedEngine(ColumnarEngine):
         return network.counters
 
     def _fold_window_pipelined(
-        self, u, network, handles, inboxes, async_folds, st
+        self, u, network, handles, inboxes, async_folds, st, supervisor=None
     ):
         """Fold window ``u``: collect each worker's final descriptors,
         folding arrival-order-safe packs as they land, then finish the
@@ -1508,14 +2369,33 @@ class ShardedEngine(ColumnarEngine):
         remaining = set(range(len(handles)))
         while remaining:
             t0 = time.perf_counter()
-            _connection_wait(
-                [inboxes[i].handle.conn for i in remaining]
-            )
+            if supervisor is None:
+                _connection_wait(
+                    [inboxes[i].handle.conn for i in remaining]
+                )
+            else:
+                deadline = max(
+                    supervisor.deadline(inboxes[i].handle)
+                    for i in remaining
+                )
+                ready = _connection_wait(
+                    [inboxes[i].handle.conn for i in remaining],
+                    timeout=deadline,
+                )
+                if not ready:
+                    silent = sorted(remaining)
+                    raise _WorkerFault(
+                        inboxes[silent[0]].handle,
+                        "hang",
+                        f"no pipelined progress within {deadline:.1f}s "
+                        f"(workers {silent} silent)",
+                        window=u,
+                    )
             wait_seconds += time.perf_counter() - t0
             for i in list(remaining):
                 inbox = inboxes[i]
                 while inbox.handle.conn.poll(0):
-                    self._pump(inbox)
+                    self._pump(inbox, supervisor, u)
                 if u in inbox.res and (u == 0 or (u - 1) in inbox.acks):
                     if u > 0:
                         if inbox.acks.pop(u - 1):
@@ -1541,7 +2421,7 @@ class ShardedEngine(ColumnarEngine):
                         declined.add(site_id)
                         continue
                     if self._fold_unordered(
-                        network, site_id, handle, descriptor
+                        network, site_id, handle, descriptor, u
                     ):
                         del pending[site_id]
                         dirty = True
@@ -1552,7 +2432,7 @@ class ShardedEngine(ColumnarEngine):
         t0 = time.perf_counter()
         if not dirty:
             controls = self._fold_ordered(
-                u, network, handles, inboxes, pending, st
+                u, network, handles, inboxes, pending, st, supervisor
             )
         else:
             # Out-of-order commits happened: finish the remainder with
@@ -1561,12 +2441,14 @@ class ShardedEngine(ColumnarEngine):
             controls = None
             for site_id in sorted(pending):
                 handle, descriptor = pending[site_id]
-                if self._fold_silent(network, site_id, handle, descriptor):
+                if self._fold_silent(
+                    network, site_id, handle, descriptor, u
+                ):
                     st["ordered_refolds"] += 1
                     coordinator.restore_state(coordinator_snapshot)
                     counters.restore_state(counters_snapshot)
                     controls = self._fold_ordered(
-                        u, network, handles, inboxes, alldesc, st
+                        u, network, handles, inboxes, alldesc, st, supervisor
                     )
                     break
             if controls is None:
@@ -1587,7 +2469,9 @@ class ShardedEngine(ColumnarEngine):
         )
         return controls
 
-    def _fold_ordered(self, u, network, handles, inboxes, descriptors, st):
+    def _fold_ordered(
+        self, u, network, handles, inboxes, descriptors, st, supervisor=None
+    ):
         """The lockstep fold body over the pipelined wire: ascending
         site order with the roll/replacement protocol (see
         :meth:`_run_windows`), reading replacements through the
@@ -1600,7 +2484,7 @@ class ShardedEngine(ColumnarEngine):
             site_id = order[i]
             handle, descriptor = pending.pop(site_id)
             responses = self._fold(
-                network, site_id, self._decode(handle, descriptor)
+                network, site_id, self._decode(handle, descriptor, u)
             )
             if responses:
                 controls.extend(
@@ -1614,13 +2498,13 @@ class ShardedEngine(ColumnarEngine):
                 if needs_roll and affected:
                     st["rollbacks"] += 1
                     for h in affected:
-                        self._send(h, ("roll", u, site_id, controls))
+                        self._send(h, ("roll", u, site_id, controls), u)
                     for stale in [s for s in pending if s > site_id]:
                         del pending[stale]
                     for h in affected:
                         inbox = inboxes[h.index]
                         while u not in inbox.reps:
-                            self._pump(inbox)
+                            self._pump(inbox, supervisor, u)
                         for descriptor in inbox.reps.pop(u):
                             pending[descriptor[0]] = (h, descriptor)
                     order = order[: i + 1] + sorted(
@@ -1629,20 +2513,24 @@ class ShardedEngine(ColumnarEngine):
             i += 1
         return controls
 
-    def _fold_unordered(self, network, site_id, handle, descriptor) -> bool:
+    def _fold_unordered(
+        self, network, site_id, handle, descriptor, window=None
+    ) -> bool:
         """Attempt one arrival-order fold; True iff it committed.
 
         A method (not inline) so the decoded zero-copy ring view dies
         with this frame — a view bound in a frame captured by an error
         traceback would outlive the pool and block ring teardown.
         """
-        payload = self._decode(handle, descriptor)
+        payload = self._decode(handle, descriptor, window)
         if network.coordinator.on_message_pack_unordered(site_id, payload):
             network.counters.record_upstream_pack(payload)
             return True
         return False
 
-    def _fold_silent(self, network, site_id, handle, descriptor) -> bool:
+    def _fold_silent(
+        self, network, site_id, handle, descriptor, window=None
+    ) -> bool:
         """Ordered fold that delivers nothing downstream; True iff the
         coordinator responded (the dirty window must then rewind).
         Frame-scoped for the same ring-view-lifetime reason as
@@ -1650,7 +2538,7 @@ class ShardedEngine(ColumnarEngine):
         """
         coordinator = network.coordinator
         counters = network.counters
-        payload = self._decode(handle, descriptor)
+        payload = self._decode(handle, descriptor, window)
         if isinstance(payload, MessagePack):
             counters.record_upstream_pack(payload)
             return bool(coordinator.on_message_pack(site_id, payload))
@@ -1666,6 +2554,13 @@ class ShardedEngine(ColumnarEngine):
         stats = self.last_run_stats
         if not stats:
             return "sharded engine: no run recorded yet"
+        if stats.get("mode") == "degraded":
+            return (
+                f"sharded engine: degraded to the "
+                f"{stats.get('rung', '?')} rung "
+                f"({stats.get('reason', 'unknown reason')}); "
+                f"{len(stats.get('faults', ()))} faults logged"
+            )
         if stats.get("mode") != "sharded":
             return (
                 f"sharded engine: ran in fallback mode "
@@ -1703,66 +2598,129 @@ class ShardedEngine(ColumnarEngine):
                 if key in timing:
                     parts.append(f"{label} {timing[key]:.3f}s")
             lines.append("  time: " + ", ".join(parts))
+        if stats.get("faults"):
+            lines.append(
+                f"  faults: {len(stats['faults'])} classified, "
+                f"{stats.get('worker_restarts', 0)} worker restarts, "
+                f"recovery {stats.get('recovery_seconds', 0.0):.3f}s"
+            )
+        if "degraded_to" in stats:
+            lines.append(
+                f"  degraded: {stats.get('degraded_from', '?')} -> "
+                f"{stats['degraded_to']}"
+            )
         if "kernels" in stats:
             lines.append(f"  kernels: {stats['kernels']} backend")
         return "\n".join(lines)
 
     @staticmethod
-    def _send(handle, message) -> None:
-        """Send a command to a worker, translating a dead pipe into the
-        same :class:`ShardedWorkerError` diagnostics ``_recv`` gives."""
+    def _send(handle, message, window=None) -> None:
+        """Send a command to a worker; a dead pipe raises a classified
+        ``crash`` :class:`_WorkerFault` (the supervised paths recover
+        or degrade; unsupervised boundaries convert it to
+        :class:`ShardedWorkerError` via ``to_error``)."""
         try:
             handle.conn.send(message)
         except (BrokenPipeError, OSError) as exc:
-            raise ShardedWorkerError(
-                f"shard worker {handle.index} (sites [{handle.site_lo}, "
-                f"{handle.site_hi})) is gone "
-                f"(exitcode {handle.process.exitcode}): {exc!r}"
+            raise _WorkerFault(
+                handle,
+                "crash",
+                f"pipe closed mid-send "
+                f"(exitcode {handle.process.exitcode}): {exc!r}",
+                window=window,
             ) from None
 
-    def _recv(self, handle):
+    def _recv(self, handle, supervisor=None, window=None):
+        """Receive one worker message; classify failures.
+
+        With a supervisor the receive is deadline-bounded (``hang``
+        fault on expiry) and stamps the worker's heartbeat.  A dead
+        pipe is a ``crash`` fault either way; a worker-shipped
+        traceback is fail-stop (:class:`ShardedWorkerError` with
+        ``fault_class="error"``) — the worker's own code raised, and
+        deterministic replay would just raise it again.
+        """
+        if supervisor is not None:
+            deadline = supervisor.deadline(handle)
+            if not handle.conn.poll(deadline):
+                raise _WorkerFault(
+                    handle,
+                    "hang",
+                    f"no message within {deadline:.1f}s "
+                    f"(process alive: {handle.process.is_alive()})",
+                    window=window,
+                )
         try:
             message = handle.conn.recv()
         except (EOFError, OSError) as exc:
-            raise ShardedWorkerError(
-                f"shard worker {handle.index} (sites [{handle.site_lo}, "
-                f"{handle.site_hi})) exited unexpectedly "
-                f"(exitcode {handle.process.exitcode}): {exc!r}"
+            raise _WorkerFault(
+                handle,
+                "crash",
+                f"exited unexpectedly "
+                f"(exitcode {handle.process.exitcode}): {exc!r}",
+                window=window,
             ) from None
         if message[0] == "err":
-            raise ShardedWorkerError(
-                f"shard worker {handle.index} (sites [{handle.site_lo}, "
-                f"{handle.site_hi})) failed; original traceback:\n"
-                f"{message[1]}",
+            raise ShardedWorkerError.from_fault(
+                handle,
+                "error",
+                f"worker raised; original traceback:\n{message[1]}",
+                window=window,
                 worker_traceback=message[1],
             )
+        if supervisor is not None:
+            supervisor.heartbeat(handle)
         return message
 
-    def _decode(self, handle, descriptor):
-        tag = descriptor[1]
-        if tag == "m":
-            return descriptor[2]
-        if tag == "q":
-            return MessagePack.from_arrays(descriptor[2], descriptor[3])
-        columns = {
-            name: _np.frombuffer(
-                handle.ring.buf,
-                dtype=_np.dtype(dtype),
-                count=count,
-                offset=offset,
-            )
-            for name, (offset, dtype, count) in descriptor[3].items()
-        }
-        return MessagePack.from_arrays(descriptor[2], columns)
+    def _decode(self, handle, descriptor, window=None):
+        """Rebuild one site's window payload from its wire descriptor.
+
+        All three wire forms are validated at this boundary
+        (:class:`~repro.net.messages.PackWireError` and friends); a
+        malformed descriptor is classified as a ``poison``
+        :class:`_WorkerFault` instead of crashing the coordinator fold.
+        """
+        try:
+            tag = descriptor[1]
+            if tag == "m":
+                payload = descriptor[2]
+                if not isinstance(payload, list):
+                    raise PackWireError(
+                        f"scalar descriptor carries "
+                        f"{type(payload).__name__}, not a message list"
+                    )
+                return payload
+            if tag == "q":
+                return MessagePack.from_arrays(descriptor[2], descriptor[3])
+            if tag == "p":
+                return MessagePack.read_from(
+                    handle.ring.buf, descriptor[2], descriptor[3]
+                )
+            raise PackWireError(f"unknown descriptor tag {tag!r}")
+        except (
+            ValueError,
+            TypeError,
+            KeyError,
+            IndexError,
+            AttributeError,
+        ) as exc:
+            raise _WorkerFault(
+                handle,
+                "poison",
+                f"undecodable pack descriptor: {exc}",
+                window=window,
+            ) from None
 
     @staticmethod
-    def _fold(network, site_id: int, payload):
+    def _fold(network, site_id: int, payload, attempt=None):
         """Deliver one site's window output to the coordinator, exactly
         as :meth:`Network.deliver_pack` / ``deliver_upstream`` would
         (same counter calls, same response fan-out), but returning the
         coordinator's responses so the window loop can see broadcasts.
         Only called on uninstrumented networks (checked at ``run``
         start), where this *is* the delivery path, verbatim.
+        ``attempt`` (supervised lockstep only) guards downstream
+        deliveries across window-recovery refolds.
         """
         counters = network.counters
         coordinator = network.coordinator
@@ -1772,14 +2730,14 @@ class ShardedEngine(ColumnarEngine):
             counters.record_upstream_pack(payload)
             responses = coordinator.on_message_pack(site_id, payload)
             for dest, response in responses:
-                network.deliver_downstream(dest, response)
+                _deliver_guarded(network, attempt, dest, response)
             return responses
         out = []
         for message in payload:
             counters.record_upstream(message)
             responses = coordinator.on_message(site_id, message)
             for dest, response in responses:
-                network.deliver_downstream(dest, response)
+                _deliver_guarded(network, attempt, dest, response)
             out.extend(responses)
         return out
 

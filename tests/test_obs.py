@@ -37,7 +37,11 @@ from repro.obs import (
     MetricsRegistry,
     NullRegistry,
     merge_worker_deltas,
+    observe_degradation,
+    observe_fault,
+    observe_heartbeat_age,
     observe_message_counters,
+    observe_recovery,
     observe_sharded_stats,
     render_json,
     render_prometheus,
@@ -373,17 +377,23 @@ GOLDEN_METRIC_NAMES = [
     "repro_query_fold_seconds_total",
     "repro_query_messages",
     "repro_shard_controls_total",
+    "repro_shard_degradations_total",
     "repro_shard_fallbacks_total",
+    "repro_shard_faults_total",
     "repro_shard_ordered_refolds_total",
     "repro_shard_phase_seconds_total",
+    "repro_shard_recovery_seconds",
     "repro_shard_rollbacks_total",
     "repro_shard_speculation_total",
     "repro_shard_unordered_folds_total",
     "repro_shard_window_seconds",
     "repro_shard_windows_total",
     "repro_shard_worker_compute_seconds_total",
+    "repro_shard_worker_heartbeat_age_seconds",
     "repro_shard_worker_pack_entries_total",
     "repro_shard_worker_packs_total",
+    "repro_shard_worker_replay_windows_total",
+    "repro_shard_worker_restarts_total",
     "repro_shard_worker_ring_bytes_total",
     "repro_shard_worker_rolls_served_total",
     "repro_shard_worker_snapshots_total",
@@ -430,6 +440,10 @@ class TestMetricNameStability:
             },
         )
         merge_worker_deltas(registry, 0, (1.0,) * len(WORKER_METRIC_NAMES))
+        observe_fault(registry, "crash")
+        observe_recovery(registry, 0, 0.01)
+        observe_degradation(registry, "lockstep")
+        observe_heartbeat_age(registry, 0, 0.0)
         assert registry.metric_names() == GOLDEN_METRIC_NAMES
 
     def test_worker_metric_columns_schema_is_fixed(self):
@@ -444,6 +458,7 @@ class TestMetricNameStability:
             "snapshots",
             "rolls_served",
             "spec_recomputes",
+            "replay_windows",
         )
 
 
